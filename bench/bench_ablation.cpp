@@ -1,0 +1,99 @@
+// Ablation study of PDW's three key techniques (DESIGN.md experiment index):
+//   A1  full PDW (reference)
+//   A2  no Type-1 exemption   (wash dead residue too)
+//   A3  no Type-2 exemption   (wash same-fluid reuse too)
+//   A4  no Type-3 exemption   (wash before waste-bound flushes too)
+//   A5  no removal integration (psi forced to 0)
+//   A6  heuristic wash paths  (BFS instead of the eq. 12-15 ILP)
+//   A7  greedy insertion      (no scheduling ILP)
+// Reported per variant, averaged over the eight benchmarks: N_wash,
+// L_wash, T_delay, T_assay.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+struct Variant {
+  const char* id;
+  const char* what;
+  pdw::core::PdwOptions options;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pdw;
+
+  // Tighter per-stage budgets than the headline benches: 7 variants x 8
+  // benchmarks; the comparison is relative across variants.
+  core::PdwOptions base_options;
+  base_options.schedule_solver.time_limit_seconds = 2.0;
+  base_options.path.solver.time_limit_seconds = 0.5;
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"A1", "full PDW", base_options};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"A2", "no Type-1 exemption", base_options};
+    v.options.necessity.enable_type1 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"A3", "no Type-2 exemption", base_options};
+    v.options.necessity.enable_type2 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"A4", "no Type-3 exemption", base_options};
+    v.options.necessity.enable_type3 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"A5", "no removal integration", base_options};
+    v.options.enable_integration = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"A6", "BFS wash paths (no path ILP)", base_options};
+    v.options.use_ilp_paths = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"A7", "greedy insertion (no scheduling ILP)", base_options};
+    v.options.use_ilp_schedule = false;
+    variants.push_back(v);
+  }
+
+  util::Table table({"Variant", "Description", "N_wash", "L_wash (mm)",
+                     "T_delay (s)", "T_assay (s)", "integrated"});
+  table.setTitle("Ablation: average over the eight Table-II benchmarks");
+
+  for (const Variant& variant : variants) {
+    double n = 0, l = 0, d = 0, a = 0, integ = 0;
+    int rows = 0;
+    for (assay::BenchmarkId id : assay::allBenchmarks()) {
+      const bench::BenchmarkRun run = bench::runBenchmark(id,
+                                                          variant.options);
+      n += run.pdw.n_wash;
+      l += run.pdw.l_wash_mm;
+      d += run.pdw.t_delay;
+      a += run.pdw.t_assay;
+      integ += run.pdw_plan.integrated_removals;
+      ++rows;
+    }
+    table.addRow({variant.id, variant.what, util::fixed(n / rows, 2),
+                  util::fixed(l / rows, 0), util::fixed(d / rows, 2),
+                  util::fixed(a / rows, 1), util::fixed(integ / rows, 2)});
+  }
+  table.render(std::cout);
+  std::cout << "\nReading: A2-A4 quantify the wash-necessity analysis "
+               "(more washes / longer delay when an exemption is off);\n"
+               "A5 isolates the excess-removal integration; A6/A7 isolate "
+               "the two ILP stages vs their heuristics.\n";
+  return 0;
+}

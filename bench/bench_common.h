@@ -1,0 +1,75 @@
+// Shared plumbing of the reproduction benches: run PDW and DAWO on every
+// Table-II benchmark and collect the paper's metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/benchmarks.h"
+#include "baseline/dawo.h"
+#include "core/pathdriver_wash.h"
+#include "sim/metrics.h"
+#include "sim/validator.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+
+namespace pdw::bench {
+
+/// Bench-wide PDW budgets: a few seconds per scheduling ILP, one second per
+/// wash-path ILP (the paper ran a 15-minute Gurobi budget; these benches
+/// demonstrate the same best-effort semantics at laptop scale).
+inline core::PdwOptions defaultBenchOptions() {
+  core::PdwOptions options;
+  options.schedule_solver.time_limit_seconds = 4.0;
+  options.path.solver.time_limit_seconds = 1.0;
+  return options;
+}
+
+struct BenchmarkRun {
+  std::string name;
+  int ops = 0;
+  int devices = 0;
+  int edges = 0;
+  double base_t_assay = 0.0;
+  sim::WashMetrics dawo;
+  sim::WashMetrics pdw;
+  wash::WashPlanResult pdw_plan;   // for ablation detail
+  wash::WashPlanResult dawo_plan;
+  bool valid = false;
+};
+
+inline BenchmarkRun runBenchmark(
+    assay::BenchmarkId id,
+    const core::PdwOptions& options = defaultBenchOptions()) {
+  BenchmarkRun run;
+  assay::Benchmark b = assay::makeBenchmark(id);
+  run.name = b.name;
+  run.ops = b.graph->numOps();
+  run.devices = arch::totalDevices(b.library);
+  run.edges = b.graph->totalEdgeCount();
+
+  synth::SynthResult base =
+      synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
+  run.base_t_assay = base.schedule.completionTime();
+
+  run.pdw_plan = core::runPathDriverWash(base.schedule, options);
+  run.dawo_plan = baseline::runDawo(base.schedule);
+  run.pdw = sim::computeMetrics(run.pdw_plan.schedule, base.schedule);
+  run.dawo = sim::computeMetrics(run.dawo_plan.schedule, base.schedule);
+
+  sim::ValidatorOptions tol;
+  tol.time_tol = 1e-4;
+  run.valid = sim::validateSchedule(run.pdw_plan.schedule, tol).ok() &&
+              sim::validateSchedule(run.dawo_plan.schedule, tol).ok();
+  return run;
+}
+
+inline std::vector<BenchmarkRun> runAll(
+    const core::PdwOptions& options = defaultBenchOptions()) {
+  std::vector<BenchmarkRun> runs;
+  for (assay::BenchmarkId id : assay::allBenchmarks())
+    runs.push_back(runBenchmark(id, options));
+  return runs;
+}
+
+}  // namespace pdw::bench

@@ -1,0 +1,47 @@
+// Reproduces Fig. 5 of the paper: total wash time under DAWO vs PDW, per
+// benchmark. PDW needs fewer washes (necessity analysis) over shorter paths
+// (global ILP routing), so the total time spent washing drops.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pdw;
+
+  std::vector<bench::BenchmarkRun> runs = bench::runAll();
+
+  util::Table table(
+      {"Benchmark", "wash time DAWO (s)", "wash time PDW (s)", "Im%"});
+  table.setTitle("Fig. 5: Total wash time");
+
+  double sum_d = 0, sum_p = 0;
+  for (const bench::BenchmarkRun& run : runs) {
+    table.addRow({run.name, util::fixed(run.dawo.total_wash_time, 1),
+                  util::fixed(run.pdw.total_wash_time, 1),
+                  util::improvementPercent(run.dawo.total_wash_time,
+                                           run.pdw.total_wash_time)});
+    sum_d += run.dawo.total_wash_time;
+    sum_p += run.pdw.total_wash_time;
+  }
+  table.addSeparator();
+  table.addRow({"Average", util::fixed(sum_d / runs.size(), 1),
+                util::fixed(sum_p / runs.size(), 1),
+                util::improvementPercent(sum_d, sum_p)});
+  table.render(std::cout);
+
+  std::cout << "\nbar chart (each # = 2 s):\n";
+  for (const bench::BenchmarkRun& run : runs) {
+    const auto bar = [](double v) {
+      return std::string(static_cast<std::size_t>(v / 2.0 + 0.5), '#');
+    };
+    std::cout << util::format("  %-14s DAWO %-40s %.1f\n", run.name.c_str(),
+                              bar(run.dawo.total_wash_time).c_str(),
+                              run.dawo.total_wash_time);
+    std::cout << util::format("  %-14s PDW  %-40s %.1f\n", "",
+                              bar(run.pdw.total_wash_time).c_str(),
+                              run.pdw.total_wash_time);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Substrate bench: scaling behaviour of the from-scratch MILP solver that
+// replaces Gurobi in this reproduction (google-benchmark microbenchmarks).
+// Families: dense LPs, 0-1 knapsacks, and big-M disjunctive scheduling
+// models (the structure of the paper's eqs. 3/8/19/20).
+#include <benchmark/benchmark.h>
+
+#include "ilp/solver.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pdw;
+
+ilp::SolveParams benchParams() {
+  ilp::SolveParams p;
+  p.time_limit_seconds = 5.0;  // best-effort cap per solve
+  p.log_progress = false;
+  return p;
+}
+
+void BM_LpDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(42);
+  ilp::Model model;
+  std::vector<ilp::VarId> vars;
+  for (int j = 0; j < n; ++j)
+    vars.push_back(model.addContinuous(0, 10));
+  for (int i = 0; i < n; ++i) {
+    ilp::LinExpr row;
+    for (int j = 0; j < n; ++j)
+      row += (1.0 + rng.uniform()) * ilp::LinExpr(vars[
+          static_cast<std::size_t>(j)]);
+    model.addLessEqual(row, 5.0 * n);
+  }
+  ilp::LinExpr objective;
+  for (ilp::VarId v : vars) objective += -1.0 * ilp::LinExpr(v);
+  model.setObjective(objective);
+
+  for (auto _ : state) {
+    ilp::Solution s = ilp::solve(model, benchParams());
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_LpDense)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_MipKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  ilp::Model model;
+  ilp::LinExpr weight, value;
+  double capacity = 0;
+  for (int j = 0; j < n; ++j) {
+    const ilp::VarId v = model.addBinary();
+    const double w = rng.intIn(1, 20);
+    weight += w * ilp::LinExpr(v);
+    value += rng.intIn(1, 30) * ilp::LinExpr(v);
+    capacity += w;
+  }
+  model.addLessEqual(weight, capacity * 0.4);
+  model.setObjective(-1.0 * value);
+
+  for (auto _ : state) {
+    ilp::Solution s = ilp::solve(model, benchParams());
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_MipKnapsack)->Arg(10)->Arg(15)->Arg(20)->Arg(30);
+
+void BM_MipDisjunctiveScheduling(benchmark::State& state) {
+  // n tasks on one resource: the big-M structure of the paper's
+  // conflict-serialization constraints.
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  constexpr double kBigM = 1000.0;
+  ilp::Model model;
+  std::vector<ilp::VarId> start;
+  std::vector<double> duration;
+  const ilp::VarId makespan = model.addContinuous(0, kBigM);
+  for (int i = 0; i < n; ++i) {
+    start.push_back(model.addContinuous(0, kBigM));
+    duration.push_back(rng.intIn(1, 6));
+    model.addGreaterEqual(ilp::LinExpr(makespan) -
+                              ilp::LinExpr(start.back()),
+                          duration.back());
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const ilp::VarId order = model.addBinary();
+      model.addGreaterEqual(
+          ilp::LinExpr(start[static_cast<std::size_t>(j)]) -
+              ilp::LinExpr(start[static_cast<std::size_t>(i)]) +
+              kBigM * ilp::LinExpr(order),
+          duration[static_cast<std::size_t>(i)]);
+      model.addGreaterEqual(
+          ilp::LinExpr(start[static_cast<std::size_t>(i)]) -
+              ilp::LinExpr(start[static_cast<std::size_t>(j)]) -
+              kBigM * ilp::LinExpr(order),
+          duration[static_cast<std::size_t>(j)] - kBigM);
+    }
+  model.setObjective(ilp::LinExpr(makespan));
+
+  for (auto _ : state) {
+    ilp::Solution s = ilp::solve(model, benchParams());
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_MipDisjunctiveScheduling)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

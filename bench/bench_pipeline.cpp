@@ -1,0 +1,93 @@
+// Substrate bench: wall-clock cost of each PDW pipeline stage
+// (google-benchmark): synthesis, contamination analysis, wash-path routing
+// (ILP vs BFS) and the full PDW / DAWO runs on a mid-size benchmark.
+#include <benchmark/benchmark.h>
+
+#include "assay/benchmarks.h"
+#include "baseline/dawo.h"
+#include "core/pathdriver_wash.h"
+#include "core/wash_path_ilp.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+#include "wash/contamination.h"
+
+namespace {
+
+using namespace pdw;
+
+const assay::Benchmark& ivd() {
+  static assay::Benchmark b = assay::makeBenchmark(assay::BenchmarkId::Ivd);
+  return b;
+}
+
+const synth::SynthResult& ivdBase() {
+  static synth::SynthResult base =
+      synth::synthesizeOnChip(*ivd().graph, synth::placeChip(ivd().library));
+  return base;
+}
+
+void BM_Synthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::SynthResult r =
+        synth::synthesizeOnChip(*ivd().graph, synth::placeChip(ivd().library));
+    benchmark::DoNotOptimize(r.schedule.completionTime());
+  }
+}
+BENCHMARK(BM_Synthesis);
+
+void BM_ContaminationAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    wash::ContaminationTracker tracker(ivdBase().schedule);
+    wash::NecessityResult r = analyzeWashNecessity(tracker);
+    benchmark::DoNotOptimize(r.targets.size());
+  }
+}
+BENCHMARK(BM_ContaminationAnalysis);
+
+std::vector<arch::Cell> someTargets() {
+  wash::ContaminationTracker tracker(ivdBase().schedule);
+  wash::NecessityResult r = analyzeWashNecessity(tracker);
+  std::vector<arch::Cell> cells;
+  for (std::size_t i = 0; i < r.targets.size() && cells.size() < 4; ++i)
+    cells.push_back(r.targets[i].cell);
+  return cells;
+}
+
+void BM_WashPathIlp(benchmark::State& state) {
+  const auto targets = someTargets();
+  for (auto _ : state) {
+    auto path = core::routeWashPathIlp(ivdBase().schedule.chip(), targets);
+    benchmark::DoNotOptimize(path.has_value());
+  }
+}
+BENCHMARK(BM_WashPathIlp);
+
+void BM_WashPathHeuristic(benchmark::State& state) {
+  const auto targets = someTargets();
+  for (auto _ : state) {
+    auto path =
+        core::routeWashPathHeuristic(ivdBase().schedule.chip(), targets);
+    benchmark::DoNotOptimize(path.has_value());
+  }
+}
+BENCHMARK(BM_WashPathHeuristic);
+
+void BM_FullPdw(benchmark::State& state) {
+  for (auto _ : state) {
+    wash::WashPlanResult r = core::runPathDriverWash(ivdBase().schedule);
+    benchmark::DoNotOptimize(r.schedule.completionTime());
+  }
+}
+BENCHMARK(BM_FullPdw)->Unit(benchmark::kMillisecond);
+
+void BM_FullDawo(benchmark::State& state) {
+  for (auto _ : state) {
+    wash::WashPlanResult r = baseline::runDawo(ivdBase().schedule);
+    benchmark::DoNotOptimize(r.schedule.completionTime());
+  }
+}
+BENCHMARK(BM_FullDawo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// In-vitro-diagnosis walkthrough — the paper's §I motivation.
+//
+// A chemiluminescence immunoassay fans a filtered patient sample into three
+// detection chains carrying different luminescence agents. When two agents
+// traverse the same channel back-to-back, the residue of the first corrupts
+// the second's luminous intensity and the tumormarker readout is wrong.
+// This example shows where that would happen on the synthesized chip, and
+// how PathDriver-Wash prevents it at minimal cost.
+#include <iostream>
+
+#include "assay/benchmarks.h"
+#include "core/pathdriver_wash.h"
+#include "sim/metrics.h"
+#include "sim/validator.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+#include "wash/contamination.h"
+#include "wash/necessity.h"
+
+int main() {
+  using namespace pdw;
+
+  assay::Benchmark ivd = assay::makeBenchmark(assay::BenchmarkId::Ivd);
+  synth::SynthResult base =
+      synth::synthesizeOnChip(*ivd.graph, synth::placeChip(ivd.library));
+
+  std::cout << "IVD immunoassay: " << ivd.graph->numOps()
+            << " operations on " << base.chip->devices().size()
+            << " devices\n"
+            << base.chip->render() << "\n";
+
+  // Where would cross-contamination corrupt the assay?
+  const wash::ContaminationTracker tracker(base.schedule);
+  const wash::NecessityResult necessity = analyzeWashNecessity(tracker);
+  std::cout << "Contamination hazards (cell, residue -> blocked use):\n";
+  for (const wash::WashTarget& t : necessity.targets) {
+    std::cout << "  cell " << arch::toString(t.cell) << ": residue of '"
+              << ivd.graph->fluids().name(t.residue)
+              << "' would corrupt the task at t=" << t.deadline << " s\n";
+  }
+  std::cout << "Exemptions applied: " << necessity.stats.describe()
+            << "\n\n";
+
+  const wash::WashPlanResult plan = core::runPathDriverWash(base.schedule);
+  const sim::WashMetrics metrics =
+      sim::computeMetrics(plan.schedule, base.schedule);
+
+  const sim::ValidatorOptions tol{.time_tol = 1e-4};
+  const bool valid = sim::validateSchedule(plan.schedule, tol).ok();
+  const wash::ContaminationTracker after(plan.schedule);
+  const bool clean = analyzeWashNecessity(after).targets.empty();
+
+  std::cout << "PathDriver-Wash plan: " << metrics.describe() << "\n";
+  std::cout << "Integrated excess removals: " << plan.integrated_removals
+            << "\n";
+  std::cout << "Schedule valid: " << (valid ? "yes" : "NO")
+            << ", contamination-free: " << (clean ? "yes" : "NO") << "\n";
+  return valid && clean ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// The paper's motivating example (Figs. 1-3): the 7-operation PCR-style
+// assay on a chip with a filter, a mixer, a heater and two detectors
+// (in1..in4 flow ports, out1..out4 waste ports).
+//
+// Prints the chip, the Table-I-style flow paths of the base schedule, the
+// wash targets the necessity analysis finds (with their Type-1/2/3
+// exemption counts), and the optimized schedule — the paper's Fig. 3
+// counterpart, where washes run concurrently with other fluidic tasks and
+// excess-fluid removals are integrated into washes.
+#include <iostream>
+
+#include "assay/benchmarks.h"
+#include "baseline/dawo.h"
+#include "core/pathdriver_wash.h"
+#include "sim/metrics.h"
+#include "synth/synthesizer.h"
+#include "util/strings.h"
+#include "wash/contamination.h"
+#include "wash/necessity.h"
+
+int main() {
+  using namespace pdw;
+
+  assay::Benchmark pcr = assay::makeBenchmark(assay::BenchmarkId::Pcr);
+  synth::SynthResult base =
+      synth::synthesizeOnChip(*pcr.graph, assay::makeMotivatingChip());
+
+  std::cout << "Motivating chip (Fig. 2(a) style; M mixer, H heater, "
+               "F filter, D detector, i flow port, o waste port):\n"
+            << base.chip->render() << "\n";
+
+  std::cout << "Flow paths of the base schedule (Table I style):\n";
+  int transport = 0, removal = 0, waste = 0;
+  for (const assay::FluidTask& t : base.schedule.tasks()) {
+    std::string tag;
+    switch (t.kind) {
+      case assay::TaskKind::Transport:
+        tag = util::format("#%d", ++transport);
+        break;
+      case assay::TaskKind::ExcessRemoval:
+        tag = util::format("*%d", ++removal);
+        break;
+      case assay::TaskKind::WasteRemoval:
+        tag = util::format("$%d", ++waste);
+        break;
+      case assay::TaskKind::Wash:
+        tag = "w";
+        break;
+    }
+    std::cout << "  " << tag << "  " << t.path.toString(base.chip.get())
+              << "\n";
+  }
+  std::cout << "\nBase completion time: " << base.schedule.completionTime()
+            << " s (no washes -> cross-contamination!)\n\n";
+
+  // Necessity analysis detail (paper §II-A).
+  const wash::ContaminationTracker tracker(base.schedule);
+  const wash::NecessityResult necessity = analyzeWashNecessity(tracker);
+  std::cout << "Wash-necessity analysis: " << necessity.stats.describe()
+            << "\n";
+  std::cout << "  (Type 1: never reused; Type 2: same-fluid reuse; "
+               "Type 3: waste-bound reuse)\n\n";
+
+  const wash::WashPlanResult pdw = core::runPathDriverWash(base.schedule);
+  const wash::WashPlanResult dawo = baseline::runDawo(base.schedule);
+
+  std::cout << "PDW wash paths:\n";
+  for (const assay::FluidTask& t : pdw.schedule.tasks())
+    if (t.kind == assay::TaskKind::Wash)
+      std::cout << "  w  [" << t.start << ".." << t.end << "s]  "
+                << t.path.toString(base.chip.get()) << "\n";
+
+  const sim::WashMetrics mp = sim::computeMetrics(pdw.schedule, base.schedule);
+  const sim::WashMetrics md =
+      sim::computeMetrics(dawo.schedule, base.schedule);
+  std::cout << "\nPDW : " << mp.describe() << "\n";
+  std::cout << "DAWO: " << md.describe() << "\n";
+  std::cout << "Integrated excess removals (PDW): "
+            << pdw.integrated_removals << "\n";
+  std::cout << "\nPaper's Fig. 3 outcome on its testbed: 3 wash operations, "
+               "3 integrated removals, 1 s completion delay.\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+// pdw_cli — command-line front end of the library.
+//
+//   pdw_cli --benchmark PCR --method both --gantt
+//   pdw_cli --all --csv
+//   pdw_cli --benchmark IVD --no-type3 --no-integration --time-limit 4
+//
+// Runs PDW and/or DAWO on a Table-II benchmark (or all of them) and prints
+// the paper's metrics, optionally as CSV or with an ASCII Gantt chart.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "assay/benchmarks.h"
+#include "baseline/dawo.h"
+#include "core/pathdriver_wash.h"
+#include "sim/gantt.h"
+#include "sim/metrics.h"
+#include "sim/validator.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pdw;
+
+struct CliOptions {
+  std::vector<assay::BenchmarkId> benchmarks;
+  bool run_pdw = true;
+  bool run_dawo = true;
+  bool gantt = false;
+  bool csv = false;
+  core::PdwOptions pdw;
+};
+
+void printUsage() {
+  std::cout <<
+      "usage: pdw_cli [options]\n"
+      "  --benchmark NAME   one of: PCR, IVD, ProteinSplit, 'Kinase act-1',\n"
+      "                     'Kinase act-2', Synthetic1..3 (repeatable)\n"
+      "  --all              run every Table-II benchmark\n"
+      "  --method M         pdw | dawo | both (default both)\n"
+      "  --alpha/--beta/--gamma X   objective weights (default .3/.3/.4)\n"
+      "  --time-limit S     scheduling-ILP budget in seconds (default 8)\n"
+      "  --no-type1|2|3     disable a necessity exemption (ablation)\n"
+      "  --no-integration   disable removal integration\n"
+      "  --no-ilp-paths     BFS wash paths instead of the ILP\n"
+      "  --no-ilp-schedule  greedy insertion instead of the scheduling ILP\n"
+      "  --gantt            print ASCII Gantt charts\n"
+      "  --csv              machine-readable output\n"
+      "  --log LEVEL        trace|debug|info|warn|error\n";
+}
+
+std::optional<assay::BenchmarkId> parseBenchmark(const std::string& name) {
+  for (assay::BenchmarkId id : assay::allBenchmarks())
+    if (name == assay::toString(id)) return id;
+  return std::nullopt;
+}
+
+std::optional<CliOptions> parseArgs(int argc, char** argv) {
+  CliOptions options;
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--benchmark") {
+      const char* value = next(i);
+      if (!value) return std::nullopt;
+      const auto id = parseBenchmark(value);
+      if (!id) {
+        std::cerr << "unknown benchmark '" << value << "'\n";
+        return std::nullopt;
+      }
+      options.benchmarks.push_back(*id);
+    } else if (arg == "--all") {
+      options.benchmarks = assay::allBenchmarks();
+    } else if (arg == "--method") {
+      const char* value = next(i);
+      if (!value) return std::nullopt;
+      const std::string m = value;
+      options.run_pdw = m == "pdw" || m == "both";
+      options.run_dawo = m == "dawo" || m == "both";
+      if (!options.run_pdw && !options.run_dawo) {
+        std::cerr << "unknown method '" << m << "'\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--alpha" || arg == "--beta" || arg == "--gamma" ||
+               arg == "--time-limit") {
+      const char* value = next(i);
+      if (!value) return std::nullopt;
+      const double x = std::atof(value);
+      if (arg == "--alpha") options.pdw.alpha = x;
+      else if (arg == "--beta") options.pdw.beta = x;
+      else if (arg == "--gamma") options.pdw.gamma = x;
+      else options.pdw.schedule_solver.time_limit_seconds = x;
+    } else if (arg == "--no-type1") {
+      options.pdw.necessity.enable_type1 = false;
+    } else if (arg == "--no-type2") {
+      options.pdw.necessity.enable_type2 = false;
+    } else if (arg == "--no-type3") {
+      options.pdw.necessity.enable_type3 = false;
+    } else if (arg == "--no-integration") {
+      options.pdw.enable_integration = false;
+    } else if (arg == "--no-ilp-paths") {
+      options.pdw.use_ilp_paths = false;
+    } else if (arg == "--no-ilp-schedule") {
+      options.pdw.use_ilp_schedule = false;
+    } else if (arg == "--gantt") {
+      options.gantt = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--log") {
+      const char* value = next(i);
+      if (!value) return std::nullopt;
+      util::setLogLevel(util::parseLogLevel(value));
+    } else if (arg == "--help" || arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  if (options.benchmarks.empty())
+    options.benchmarks.push_back(assay::BenchmarkId::Pcr);
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parseArgs(argc, argv);
+  if (!parsed) {
+    printUsage();
+    return 2;
+  }
+  const CliOptions& options = *parsed;
+
+  util::Table table({"Benchmark", "Method", "N_wash", "L_wash (mm)",
+                     "T_delay (s)", "T_assay (s)", "avg wait (s)",
+                     "wash time (s)", "concurrency %", "valid"});
+
+  bool all_valid = true;
+  for (assay::BenchmarkId id : options.benchmarks) {
+    const assay::Benchmark b = assay::makeBenchmark(id);
+    synth::SynthResult base =
+        synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
+
+    const auto report = [&](const char* method,
+                            const wash::WashPlanResult& plan) {
+      const sim::WashMetrics m =
+          sim::computeMetrics(plan.schedule, base.schedule);
+      sim::ValidatorOptions tol;
+      tol.time_tol = 1e-4;
+      const bool valid = sim::validateSchedule(plan.schedule, tol).ok();
+      all_valid = all_valid && valid;
+      table.addRow({b.name, method, util::format("%d", m.n_wash),
+                    util::fixed(m.l_wash_mm, 0), util::fixed(m.t_delay, 1),
+                    util::fixed(m.t_assay, 1), util::fixed(m.avg_wait, 2),
+                    util::fixed(m.total_wash_time, 1),
+                    util::fixed(m.wash_concurrency * 100, 0),
+                    valid ? "yes" : "NO"});
+      if (options.gantt) {
+        std::cout << "\n" << b.name << " / " << method << ":\n"
+                  << sim::renderGantt(plan.schedule);
+      }
+    };
+
+    if (options.run_pdw)
+      report("PDW", core::runPathDriverWash(base.schedule, options.pdw));
+    if (options.run_dawo) report("DAWO", baseline::runDawo(base.schedule));
+  }
+
+  if (options.csv) {
+    table.renderCsv(std::cout);
+  } else {
+    table.render(std::cout);
+  }
+  return all_valid ? 0 : 1;
+}

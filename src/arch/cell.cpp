@@ -1,0 +1,77 @@
+#include "arch/cell.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace pdw::arch {
+
+int manhattan(Cell a, Cell b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+bool adjacent(Cell a, Cell b) { return manhattan(a, b) == 1; }
+
+std::string toString(Cell c) { return util::format("(%d,%d)", c.x, c.y); }
+
+CellSet::CellSet(int width, int height)
+    : width_(width),
+      height_(height),
+      bits_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+            false) {
+  assert(width >= 0 && height >= 0);
+}
+
+void CellSet::insert(Cell c) {
+  assert(inRange(c));
+  const std::size_t i = index(c);
+  if (!bits_[i]) {
+    bits_[i] = true;
+    ++count_;
+  }
+}
+
+void CellSet::erase(Cell c) {
+  if (!inRange(c)) return;
+  const std::size_t i = index(c);
+  if (bits_[i]) {
+    bits_[i] = false;
+    --count_;
+  }
+}
+
+bool CellSet::contains(Cell c) const { return inRange(c) && bits_[index(c)]; }
+
+void CellSet::clear() {
+  bits_.assign(bits_.size(), false);
+  count_ = 0;
+}
+
+std::vector<Cell> CellSet::toVector() const {
+  std::vector<Cell> cells;
+  cells.reserve(static_cast<std::size_t>(count_));
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      if (bits_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(x)])
+        cells.push_back(Cell{x, y});
+  return cells;
+}
+
+bool CellSet::intersects(const CellSet& other) const {
+  // Iterate the smaller set.
+  const CellSet& small = size() <= other.size() ? *this : other;
+  const CellSet& large = size() <= other.size() ? other : *this;
+  for (const Cell& c : small.toVector())
+    if (large.contains(c)) return true;
+  return false;
+}
+
+bool CellSet::containsAll(const CellSet& other) const {
+  for (const Cell& c : other.toVector())
+    if (!contains(c)) return false;
+  return true;
+}
+
+}  // namespace pdw::arch

@@ -1,0 +1,80 @@
+// Grid cells and cell sets for the virtual chip grid R (paper §III: "PDW
+// uses a virtual grid R of size W_G x H_G to represent the chip layout,
+// where devices and channels are placed on the cells of R").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pdw::arch {
+
+/// One cell (x, y) of the virtual grid.
+struct Cell {
+  int x = -1;
+  int y = -1;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+/// Manhattan distance between two cells.
+int manhattan(Cell a, Cell b);
+
+/// True if the two cells are 4-neighbours.
+bool adjacent(Cell a, Cell b);
+
+std::string toString(Cell c);
+
+/// Dense bitset of cells over a fixed grid extent. O(1) insert/contains;
+/// used for path membership, blockage maps and contaminated-cell sets.
+class CellSet {
+ public:
+  CellSet() = default;
+  CellSet(int width, int height);
+
+  void insert(Cell c);
+  void erase(Cell c);
+  bool contains(Cell c) const;
+  void clear();
+
+  /// Number of cells in the set.
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Enumerate members in row-major order.
+  std::vector<Cell> toVector() const;
+
+  /// True if any member of `other` is also in this set.
+  bool intersects(const CellSet& other) const;
+
+  /// True if every member of `other` is in this set.
+  bool containsAll(const CellSet& other) const;
+
+ private:
+  std::size_t index(Cell c) const {
+    return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(c.x);
+  }
+  bool inRange(Cell c) const {
+    return c.x >= 0 && c.y >= 0 && c.x < width_ && c.y < height_;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int count_ = 0;
+  std::vector<bool> bits_;
+};
+
+struct CellHash {
+  std::size_t operator()(const Cell& c) const {
+    return std::hash<long long>()(
+        (static_cast<long long>(c.x) << 32) ^ static_cast<long long>(c.y));
+  }
+};
+
+}  // namespace pdw::arch

@@ -1,0 +1,49 @@
+// On-chip devices of the continuous-flow architecture.
+//
+// Devices (mixers, heaters, detectors, filters, storage) occupy grid cells;
+// fluids are transported *through* them along flow paths (see Table I of the
+// paper, e.g. "in1 -> s1 -> filter -> s2 -> ..."). A device executes at most
+// one biochemical operation at a time (paper eq. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cell.h"
+
+namespace pdw::arch {
+
+enum class DeviceKind {
+  Mixer,
+  Heater,
+  Detector,
+  Filter,
+  Storage,
+};
+
+const char* toString(DeviceKind kind);
+
+/// Index of a device within its ChipLayout.
+using DeviceId = int;
+
+struct Device {
+  DeviceId id = -1;
+  DeviceKind kind = DeviceKind::Mixer;
+  std::string name;
+  /// The grid cell the device sits on. Flow paths traverse this cell; the
+  /// two "ends" of the device are the cells adjacent to it on a path.
+  Cell cell;
+};
+
+/// A device library entry: how many devices of each kind a chip offers.
+struct DeviceSpec {
+  DeviceKind kind = DeviceKind::Mixer;
+  int count = 0;
+};
+
+using DeviceLibrary = std::vector<DeviceSpec>;
+
+/// Total device count in a library.
+int totalDevices(const DeviceLibrary& library);
+
+}  // namespace pdw::arch

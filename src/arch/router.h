@@ -1,0 +1,47 @@
+// Grid router: BFS shortest paths on the chip's virtual grid.
+//
+// Used by the synthesis substrate to build transport/removal flow paths and
+// by the DAWO baseline's wash-path heuristic (the paper describes DAWO as
+// employing "the breadth-first-search algorithm ... to compute wash paths").
+// Routing rules:
+//   * device cells are traversable (fluids flow through devices),
+//   * port cells terminate paths — they are never interior cells,
+//   * cells in the caller's blocked set are avoided.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/path.h"
+
+namespace pdw::arch {
+
+class Router {
+ public:
+  explicit Router(const ChipLayout& chip) : chip_(&chip) {}
+
+  /// Shortest path from `from` to `to` (both inclusive). Returns nullopt if
+  /// unreachable. `blocked` cells are avoided (endpoints exempt).
+  std::optional<FlowPath> route(Cell from, Cell to,
+                                const CellSet* blocked = nullptr) const;
+
+  /// Route a path visiting all `waypoints` (in greedy nearest-first order)
+  /// between `from` and `to`. The result is connected and covers every
+  /// waypoint; it is made simple (loop-free) when possible by erasing
+  /// revisit loops that do not drop waypoint coverage.
+  std::optional<FlowPath> routeVia(Cell from, std::vector<Cell> waypoints,
+                                   Cell to,
+                                   const CellSet* blocked = nullptr) const;
+
+  /// Distance in grid edges, or nullopt if unreachable.
+  std::optional<int> distance(Cell from, Cell to,
+                              const CellSet* blocked = nullptr) const;
+
+ private:
+  bool traversable(Cell c, Cell from, Cell to, const CellSet* blocked) const;
+
+  const ChipLayout* chip_;
+};
+
+}  // namespace pdw::arch

@@ -1,0 +1,396 @@
+#include "assay/benchmarks.h"
+
+#include <cassert>
+
+namespace pdw::assay {
+
+namespace {
+
+using arch::DeviceKind;
+
+/// Assert the reconstruction matches the published |O|/|D|/|E| triple.
+void checkCounts(const Benchmark& b) {
+  assert(b.graph->numOps() == b.expected_ops);
+  assert(arch::totalDevices(b.library) == b.expected_devices);
+  assert(b.graph->totalEdgeCount() == b.expected_edges);
+  assert(b.graph->isAcyclic());
+  (void)b;
+}
+
+/// PCR — 7/5/15. The paper's own motivating assay (Fig. 1(c), Fig. 2):
+/// r1 is filtered, mixed with r2, the intermediates are detected on two
+/// detectors, thermocycled on the heater and re-mixed for a final detection.
+Benchmark makePcr() {
+  Benchmark b;
+  b.name = "PCR";
+  b.expected_ops = 7;
+  b.expected_devices = 5;
+  b.expected_edges = 15;
+  b.graph = std::make_unique<SequencingGraph>(b.name);
+  SequencingGraph& g = *b.graph;
+  const FluidId r1 = g.fluids().addReagent("r1");
+  const FluidId r2 = g.fluids().addReagent("r2");
+  const FluidId r3 = g.fluids().addReagent("r3");
+
+  const OpId o1 = g.addOperation(OpKind::Filter, 4, {r1}, "o1");
+  const OpId o2 = g.addOperation(OpKind::Mix, 3, {r2}, "o2");
+  const OpId o3 = g.addOperation(OpKind::Detect, 4, {r3}, "o3");
+  const OpId o4 = g.addOperation(OpKind::Detect, 4, {r3}, "o4");
+  const OpId o5 = g.addOperation(OpKind::Heat, 5, {r2}, "o5");
+  const OpId o6 = g.addOperation(OpKind::Mix, 3, {r2}, "o6");
+  const OpId o7 = g.addOperation(OpKind::Detect, 4, {r3}, "o7");
+  g.addDependency(o1, o2);
+  g.addDependency(o1, o3);
+  g.addDependency(o2, o4);
+  g.addDependency(o3, o5);
+  g.addDependency(o4, o6);
+  g.addDependency(o5, o6);
+  g.addDependency(o6, o7);
+  g.setProducesWaste(o1);  // the filter keeps residue to flush ($-task)
+
+  b.library = {{DeviceKind::Mixer, 1},
+               {DeviceKind::Heater, 1},
+               {DeviceKind::Detector, 2},
+               {DeviceKind::Filter, 1}};
+  checkCounts(b);
+  return b;
+}
+
+/// IVD — 12/9/24. An in-vitro-diagnosis style immunoassay (paper §I's
+/// chemiluminescence motivation): a filtered sample fans out into three
+/// detection chains carrying different luminescence agents; two chain
+/// results are differentially re-mixed and detected.
+Benchmark makeIvd() {
+  Benchmark b;
+  b.name = "IVD";
+  b.expected_ops = 12;
+  b.expected_devices = 9;
+  b.expected_edges = 24;
+  b.graph = std::make_unique<SequencingGraph>(b.name);
+  SequencingGraph& g = *b.graph;
+  const FluidId sample = g.fluids().addReagent("sample");
+  const FluidId agent1 = g.fluids().addReagent("agent1");
+  const FluidId agent2 = g.fluids().addReagent("agent2");
+  const FluidId agent3 = g.fluids().addReagent("agent3");
+  const FluidId lumi = g.fluids().addReagent("luminol");
+  const FluidId oil = g.fluids().addReagent("oil");
+
+  const OpId filter = g.addOperation(OpKind::Filter, 4, {sample}, "filter");
+  g.setProducesWaste(filter);
+  const FluidId agents[3] = {agent1, agent2, agent3};
+  OpId detect[3];
+  for (int k = 0; k < 3; ++k) {
+    const OpId mix =
+        g.addOperation(OpKind::Mix, 3, {agents[static_cast<std::size_t>(k)]});
+    // Two chains heat under oil; agent edges land the published |E|.
+    std::vector<FluidId> heat_inputs;
+    if (k < 2) heat_inputs.push_back(oil);
+    const OpId heat = g.addOperation(OpKind::Heat, 4, heat_inputs);
+    detect[k] = g.addOperation(OpKind::Detect, 5, {lumi});
+    g.addDependency(filter, mix);
+    g.addDependency(mix, heat);
+    g.addDependency(heat, detect[k]);
+  }
+  const OpId remix = g.addOperation(OpKind::Mix, 3, {}, "remix");
+  g.addDependency(detect[0], remix);
+  g.addDependency(detect[1], remix);
+  const OpId final_detect =
+      g.addOperation(OpKind::Detect, 5, {lumi}, "final_detect");
+  g.addDependency(remix, final_detect);
+
+  b.library = {{DeviceKind::Mixer, 2},
+               {DeviceKind::Heater, 2},
+               {DeviceKind::Detector, 3},
+               {DeviceKind::Filter, 1},
+               {DeviceKind::Storage, 1}};
+  checkCounts(b);
+  return b;
+}
+
+/// ProteinSplit — 14/11/27. A two-level protein dilution/split tree: the
+/// stock is serially split and diluted, two branches are heat-treated, all
+/// four leaves are measured, one result is archived on-chip.
+Benchmark makeProteinSplit() {
+  Benchmark b;
+  b.name = "ProteinSplit";
+  b.expected_ops = 14;
+  b.expected_devices = 11;
+  b.expected_edges = 27;
+  b.graph = std::make_unique<SequencingGraph>(b.name);
+  SequencingGraph& g = *b.graph;
+  const FluidId protein = g.fluids().addReagent("protein");
+  const FluidId diluent_a = g.fluids().addReagent("diluentA");
+  const FluidId diluent_b = g.fluids().addReagent("diluentB");
+  const FluidId dye = g.fluids().addReagent("dye");
+
+  const OpId o1 = g.addOperation(OpKind::Mix, 3, {protein, diluent_a}, "o1");
+  const OpId o2 = g.addOperation(OpKind::Mix, 3, {diluent_a}, "o2");
+  const OpId o3 = g.addOperation(OpKind::Mix, 3, {diluent_b}, "o3");
+  g.addDependency(o1, o2);
+  g.addDependency(o1, o3);
+  const OpId o4 = g.addOperation(OpKind::Mix, 3, {diluent_a}, "o4");
+  const OpId o5 = g.addOperation(OpKind::Mix, 3, {diluent_b}, "o5");
+  const OpId o6 = g.addOperation(OpKind::Mix, 3, {diluent_a}, "o6");
+  const OpId o7 = g.addOperation(OpKind::Mix, 3, {diluent_b}, "o7");
+  g.addDependency(o2, o4);
+  g.addDependency(o2, o5);
+  g.addDependency(o3, o6);
+  g.addDependency(o3, o7);
+  const OpId o8 = g.addOperation(OpKind::Heat, 4, {}, "o8");
+  const OpId o9 = g.addOperation(OpKind::Heat, 4, {}, "o9");
+  g.addDependency(o4, o8);
+  g.addDependency(o5, o9);
+  const OpId o10 = g.addOperation(OpKind::Detect, 5, {dye}, "o10");
+  const OpId o11 = g.addOperation(OpKind::Detect, 5, {dye}, "o11");
+  const OpId o12 = g.addOperation(OpKind::Detect, 5, {}, "o12");
+  const OpId o13 = g.addOperation(OpKind::Detect, 5, {}, "o13");
+  g.addDependency(o8, o10);
+  g.addDependency(o9, o11);
+  g.addDependency(o6, o12);
+  g.addDependency(o7, o13);
+  const OpId o14 = g.addOperation(OpKind::Store, 2, {}, "o14");
+  g.addDependency(o10, o14);
+
+  b.library = {{DeviceKind::Mixer, 3},
+               {DeviceKind::Heater, 2},
+               {DeviceKind::Detector, 3},
+               {DeviceKind::Filter, 1},
+               {DeviceKind::Storage, 2}};
+  checkCounts(b);
+  return b;
+}
+
+/// Kinase act-1 — 4/9/16. A short kinase-activity protocol dominated by
+/// reagent loading: substrate/kinase/ATP are combined, boosted with two
+/// cofactors, incubated under oil+stop solution and read out with two
+/// detection reagents.
+Benchmark makeKinaseAct1() {
+  Benchmark b;
+  b.name = "Kinase act-1";
+  b.expected_ops = 4;
+  b.expected_devices = 9;
+  b.expected_edges = 16;
+  b.graph = std::make_unique<SequencingGraph>(b.name);
+  SequencingGraph& g = *b.graph;
+  const FluidId substrate = g.fluids().addReagent("substrate");
+  const FluidId kinase = g.fluids().addReagent("kinase");
+  const FluidId atp = g.fluids().addReagent("ATP");
+  const FluidId mg = g.fluids().addReagent("Mg2+");
+  const FluidId cofactor1 = g.fluids().addReagent("cofactor1");
+  const FluidId cofactor2 = g.fluids().addReagent("cofactor2");
+  const FluidId cofactor3 = g.fluids().addReagent("cofactor3");
+  const FluidId oil = g.fluids().addReagent("oil");
+  const FluidId stop = g.fluids().addReagent("stop");
+  const FluidId lumi = g.fluids().addReagent("luminol");
+  const FluidId enhancer = g.fluids().addReagent("enhancer");
+  const FluidId probe = g.fluids().addReagent("probe");
+
+  const OpId o1 =
+      g.addOperation(OpKind::Mix, 3, {substrate, kinase, atp, mg}, "o1");
+  const OpId o2 =
+      g.addOperation(OpKind::Mix, 3, {cofactor1, cofactor2, cofactor3}, "o2");
+  const OpId o3 = g.addOperation(OpKind::Heat, 6, {oil, stop}, "o3");
+  const OpId o4 =
+      g.addOperation(OpKind::Detect, 5, {lumi, enhancer, probe}, "o4");
+  g.addDependency(o1, o2);
+  g.addDependency(o2, o3);
+  g.addDependency(o3, o4);
+
+  b.library = {{DeviceKind::Mixer, 2},
+               {DeviceKind::Heater, 2},
+               {DeviceKind::Detector, 2},
+               {DeviceKind::Filter, 1},
+               {DeviceKind::Storage, 2}};
+  checkCounts(b);
+  return b;
+}
+
+/// Kinase act-2 — 12/9/48. A dense four-layer kinase panel: every layer
+/// consumes all three results of the previous one (3x3 dependencies per
+/// layer boundary), the hallmark of the published |E|=48 at only 12 ops.
+Benchmark makeKinaseAct2() {
+  Benchmark b;
+  b.name = "Kinase act-2";
+  b.expected_ops = 12;
+  b.expected_devices = 9;
+  b.expected_edges = 48;
+  b.graph = std::make_unique<SequencingGraph>(b.name);
+  SequencingGraph& g = *b.graph;
+  const FluidId reagents[6] = {
+      g.fluids().addReagent("substrate"), g.fluids().addReagent("kinase"),
+      g.fluids().addReagent("ATP"),       g.fluids().addReagent("cofactor"),
+      g.fluids().addReagent("stop"),      g.fluids().addReagent("luminol")};
+
+  const OpKind layer_kinds[4][3] = {
+      {OpKind::Mix, OpKind::Mix, OpKind::Mix},
+      {OpKind::Heat, OpKind::Filter, OpKind::Mix},
+      {OpKind::Mix, OpKind::Heat, OpKind::Detect},
+      {OpKind::Detect, OpKind::Detect, OpKind::Store}};
+  // Reagent-edge plan per op, summing to 18 (layer 0 gets 2 each; exactly
+  // three later ops get 2, six get 1): 18 + 27 deps + 3 sinks = 48.
+  const int reagent_counts[4][3] = {{2, 2, 2}, {2, 1, 1}, {2, 1, 1},
+                                    {2, 1, 1}};
+
+  OpId previous[3] = {-1, -1, -1};
+  int reagent_cursor = 0;
+  for (int layer = 0; layer < 4; ++layer) {
+    OpId current[3];
+    for (int k = 0; k < 3; ++k) {
+      std::vector<FluidId> inputs;
+      for (int r = 0; r < reagent_counts[layer][k]; ++r)
+        inputs.push_back(reagents[(reagent_cursor++) % 6]);
+      current[k] = g.addOperation(layer_kinds[layer][k],
+                                  layer_kinds[layer][k] == OpKind::Detect
+                                      ? 5
+                                      : 3,
+                                  std::move(inputs));
+      if (layer_kinds[layer][k] == OpKind::Filter)
+        g.setProducesWaste(current[k]);
+      if (layer > 0)
+        for (int p = 0; p < 3; ++p) g.addDependency(previous[p], current[k]);
+    }
+    for (int k = 0; k < 3; ++k) previous[k] = current[k];
+  }
+
+  b.library = {{DeviceKind::Mixer, 2},
+               {DeviceKind::Heater, 2},
+               {DeviceKind::Detector, 2},
+               {DeviceKind::Filter, 1},
+               {DeviceKind::Storage, 2}};
+  checkCounts(b);
+  return b;
+}
+
+/// Chain-structured synthetic benchmarks: `chains` parallel pipelines of
+/// five operations each with a few cross-chain dependencies and enough
+/// reagent edges to land the published |E|.
+Benchmark makeSyntheticChains(const char* name, int chains, int cross_deps,
+                              int extra_reagents, arch::DeviceLibrary library,
+                              int expected_devices, int expected_edges) {
+  Benchmark b;
+  b.name = name;
+  b.expected_ops = chains * 5;
+  b.expected_devices = expected_devices;
+  b.expected_edges = expected_edges;
+  b.graph = std::make_unique<SequencingGraph>(b.name);
+  SequencingGraph& g = *b.graph;
+
+  const FluidId head_reagent = g.fluids().addReagent("stock");
+  const FluidId aux = g.fluids().addReagent("aux");
+
+  const OpKind patterns[2][5] = {
+      {OpKind::Mix, OpKind::Heat, OpKind::Mix, OpKind::Detect, OpKind::Store},
+      {OpKind::Filter, OpKind::Mix, OpKind::Heat, OpKind::Detect,
+       OpKind::Store}};
+
+  std::vector<std::vector<OpId>> chain_ops(static_cast<std::size_t>(chains));
+  int reagents_left = extra_reagents;
+  for (int c = 0; c < chains; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<FluidId> inputs;
+      if (i == 0) inputs.push_back(head_reagent);
+      else if (reagents_left > 0) {
+        inputs.push_back(aux);
+        --reagents_left;
+      }
+      const OpKind kind = patterns[c % 2][i];
+      const OpId op = g.addOperation(kind, kind == OpKind::Detect ? 5 : 3,
+                                     std::move(inputs));
+      if (kind == OpKind::Filter) g.setProducesWaste(op);
+      chain_ops[static_cast<std::size_t>(c)].push_back(op);
+      if (i > 0)
+        g.addDependency(chain_ops[static_cast<std::size_t>(c)][
+                            static_cast<std::size_t>(i) - 1],
+                        op);
+    }
+  }
+  // Cross-chain dependencies: stage-2 of chain c feeds stage-3 of chain c+1.
+  for (int c = 0; c + 1 < chains && c < cross_deps; ++c)
+    g.addDependency(chain_ops[static_cast<std::size_t>(c)][1],
+                    chain_ops[static_cast<std::size_t>(c) + 1][2]);
+
+  b.library = std::move(library);
+  checkCounts(b);
+  return b;
+}
+
+}  // namespace
+
+const char* toString(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::Pcr: return "PCR";
+    case BenchmarkId::Ivd: return "IVD";
+    case BenchmarkId::ProteinSplit: return "ProteinSplit";
+    case BenchmarkId::KinaseAct1: return "Kinase act-1";
+    case BenchmarkId::KinaseAct2: return "Kinase act-2";
+    case BenchmarkId::Synthetic1: return "Synthetic1";
+    case BenchmarkId::Synthetic2: return "Synthetic2";
+    case BenchmarkId::Synthetic3: return "Synthetic3";
+  }
+  return "?";
+}
+
+std::vector<BenchmarkId> allBenchmarks() {
+  return {BenchmarkId::Pcr,          BenchmarkId::Ivd,
+          BenchmarkId::ProteinSplit, BenchmarkId::KinaseAct1,
+          BenchmarkId::KinaseAct2,   BenchmarkId::Synthetic1,
+          BenchmarkId::Synthetic2,   BenchmarkId::Synthetic3};
+}
+
+Benchmark makeBenchmark(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::Pcr: return makePcr();
+    case BenchmarkId::Ivd: return makeIvd();
+    case BenchmarkId::ProteinSplit: return makeProteinSplit();
+    case BenchmarkId::KinaseAct1: return makeKinaseAct1();
+    case BenchmarkId::KinaseAct2: return makeKinaseAct2();
+    case BenchmarkId::Synthetic1:
+      return makeSyntheticChains("Synthetic1", 2, 0, 3,
+                                 {{DeviceKind::Mixer, 3},
+                                  {DeviceKind::Heater, 3},
+                                  {DeviceKind::Detector, 3},
+                                  {DeviceKind::Filter, 2},
+                                  {DeviceKind::Storage, 1}},
+                                 12, 15);
+    case BenchmarkId::Synthetic2:
+      return makeSyntheticChains("Synthetic2", 3, 2, 4,
+                                 {{DeviceKind::Mixer, 3},
+                                  {DeviceKind::Heater, 3},
+                                  {DeviceKind::Detector, 3},
+                                  {DeviceKind::Filter, 2},
+                                  {DeviceKind::Storage, 2}},
+                                 13, 24);
+    case BenchmarkId::Synthetic3:
+      return makeSyntheticChains("Synthetic3", 4, 3, 1,
+                                 {{DeviceKind::Mixer, 4},
+                                  {DeviceKind::Heater, 4},
+                                  {DeviceKind::Detector, 4},
+                                  {DeviceKind::Filter, 3},
+                                  {DeviceKind::Storage, 3}},
+                                 18, 28);
+  }
+  return makePcr();
+}
+
+std::unique_ptr<arch::ChipLayout> makeMotivatingChip() {
+  // A Fig. 2(a)-style layout: filter and detector1 across the top, the
+  // mixer central, detector2 and heater across the bottom, four flow ports
+  // on the west/north boundary, four waste ports on the east/south boundary.
+  auto chip = std::make_unique<arch::ChipLayout>(13, 11, 3.0);
+  chip->addDevice(arch::DeviceKind::Filter, {3, 2}, "filter");
+  chip->addDevice(arch::DeviceKind::Detector, {9, 2}, "det1");
+  chip->addDevice(arch::DeviceKind::Mixer, {5, 5}, "mixer");
+  chip->addDevice(arch::DeviceKind::Detector, {3, 8}, "det2");
+  chip->addDevice(arch::DeviceKind::Heater, {9, 8}, "heater");
+  chip->addFlowPort({0, 2}, "in1");
+  chip->addFlowPort({0, 8}, "in2");
+  chip->addFlowPort({9, 0}, "in3");
+  chip->addFlowPort({12, 8}, "in4");
+  chip->addWastePort({5, 10}, "out1");
+  chip->addWastePort({3, 0}, "out2");
+  chip->addWastePort({12, 5}, "out3");
+  chip->addWastePort({6, 0}, "out4");
+  return chip;
+}
+
+}  // namespace pdw::assay

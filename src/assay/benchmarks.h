@@ -1,0 +1,64 @@
+// Reconstruction of the paper's benchmark suite (Table II):
+//
+//   PCR           7/5/15    (the motivating assay of Fig. 1(c)/Fig. 2)
+//   IVD          12/9/24
+//   ProteinSplit 14/11/27
+//   Kinase act-1  4/9/16
+//   Kinase act-2 12/9/48
+//   Synthetic1   10/12/15
+//   Synthetic2   15/13/24
+//   Synthetic3   20/18/28
+//
+// The numbers are |O| (operations) / |D| (devices in the library) / |E|
+// (edges). The original assays are not distributed with the paper; these
+// reconstructions are built to the published sizes under the edge-counting
+// convention of DESIGN.md §7 (dependency edges + reagent-input edges + one
+// output edge per sink operation). Every builder asserts its own counts, so
+// a drifting reconstruction fails loudly in tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/device.h"
+#include "assay/sequencing_graph.h"
+
+namespace pdw::assay {
+
+enum class BenchmarkId {
+  Pcr,
+  Ivd,
+  ProteinSplit,
+  KinaseAct1,
+  KinaseAct2,
+  Synthetic1,
+  Synthetic2,
+  Synthetic3,
+};
+
+const char* toString(BenchmarkId id);
+
+/// All eight Table-II benchmarks in paper order.
+std::vector<BenchmarkId> allBenchmarks();
+
+struct Benchmark {
+  std::string name;
+  std::unique_ptr<SequencingGraph> graph;
+  arch::DeviceLibrary library;
+  int expected_ops = 0;
+  int expected_devices = 0;
+  int expected_edges = 0;
+};
+
+/// Build one benchmark. The returned graph's counts are asserted to match
+/// the published |O|/|D|/|E| triple.
+Benchmark makeBenchmark(BenchmarkId id);
+
+/// A hand-built chip in the spirit of Fig. 2(a): mixer, heater, filter and
+/// two detectors with four flow ports (in1..in4) and four waste ports
+/// (out1..out4). Used by the motivating example and by golden tests.
+std::unique_ptr<arch::ChipLayout> makeMotivatingChip();
+
+}  // namespace pdw::assay

@@ -1,0 +1,30 @@
+#include "assay/fluid.h"
+
+namespace pdw::assay {
+
+FluidRegistry::FluidRegistry() {
+  buffer_ = add(FluidKind::Buffer, "buffer");
+  waste_ = add(FluidKind::Waste, "waste");
+}
+
+FluidId FluidRegistry::add(FluidKind kind, std::string name) {
+  kinds_.push_back(kind);
+  names_.push_back(std::move(name));
+  return static_cast<FluidId>(names_.size()) - 1;
+}
+
+FluidId FluidRegistry::addReagent(std::string name) {
+  return add(FluidKind::Reagent, std::move(name));
+}
+
+FluidId FluidRegistry::addMixture(std::string name) {
+  return add(FluidKind::Mixture, std::move(name));
+}
+
+bool FluidRegistry::contaminates(FluidId residue, FluidId incoming) const {
+  if (residue == incoming) return false;  // Type 2: same type is harmless
+  if (kind(residue) == FluidKind::Buffer) return false;  // buffer is neutral
+  return true;
+}
+
+}  // namespace pdw::assay

@@ -1,0 +1,59 @@
+// Fluid types.
+//
+// Cross-contamination is *type-sensitive*: residue of fluid f only
+// contaminates a later flow of a different type (paper §II-A Type 2: "if the
+// residue left in a device has the same type as the subsequent input fluid,
+// wash ... can be avoided"). The registry assigns an id to every distinct
+// fluid: input reagents, every operation's result (a new mixture type), the
+// wash buffer, and waste.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdw::assay {
+
+using FluidId = int;
+
+enum class FluidKind {
+  Reagent,  ///< externally injected sample/reagent
+  Mixture,  ///< intermediate result of a biochemical operation
+  Buffer,   ///< wash buffer (neutral: leaves no contaminating residue)
+  Waste,    ///< spent fluid on its way off-chip
+};
+
+class FluidRegistry {
+ public:
+  FluidRegistry();
+
+  FluidId addReagent(std::string name);
+  FluidId addMixture(std::string name);
+
+  /// The singleton wash-buffer fluid.
+  FluidId buffer() const { return buffer_; }
+  /// The singleton waste fluid.
+  FluidId waste() const { return waste_; }
+
+  FluidKind kind(FluidId id) const {
+    return kinds_[static_cast<std::size_t>(id)];
+  }
+  const std::string& name(FluidId id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// True if residue of `residue` contaminates a subsequent flow of
+  /// `incoming`: different types, and the residue is not neutral buffer.
+  /// (Waste residue does contaminate non-waste flows.)
+  bool contaminates(FluidId residue, FluidId incoming) const;
+
+ private:
+  FluidId add(FluidKind kind, std::string name);
+
+  std::vector<FluidKind> kinds_;
+  std::vector<std::string> names_;
+  FluidId buffer_ = -1;
+  FluidId waste_ = -1;
+};
+
+}  // namespace pdw::assay

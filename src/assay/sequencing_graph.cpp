@@ -1,0 +1,129 @@
+#include "assay/sequencing_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "util/strings.h"
+
+namespace pdw::assay {
+
+const char* toString(OpKind kind) {
+  switch (kind) {
+    case OpKind::Mix: return "mix";
+    case OpKind::Heat: return "heat";
+    case OpKind::Detect: return "detect";
+    case OpKind::Filter: return "filter";
+    case OpKind::Store: return "store";
+  }
+  return "?";
+}
+
+arch::DeviceKind requiredDevice(OpKind kind) {
+  switch (kind) {
+    case OpKind::Mix: return arch::DeviceKind::Mixer;
+    case OpKind::Heat: return arch::DeviceKind::Heater;
+    case OpKind::Detect: return arch::DeviceKind::Detector;
+    case OpKind::Filter: return arch::DeviceKind::Filter;
+    case OpKind::Store: return arch::DeviceKind::Storage;
+  }
+  return arch::DeviceKind::Mixer;
+}
+
+SequencingGraph::SequencingGraph(std::string name) : name_(std::move(name)) {}
+
+OpId SequencingGraph::addOperation(OpKind kind, double duration_s,
+                                   std::vector<FluidId> reagent_inputs,
+                                   std::string name) {
+  assert(duration_s > 0);
+  Operation op;
+  op.id = static_cast<OpId>(ops_.size());
+  op.kind = kind;
+  op.duration_s = duration_s;
+  op.reagent_inputs = std::move(reagent_inputs);
+  op.name = name.empty() ? util::format("o%d", op.id + 1) : std::move(name);
+  op.result = fluids_.addMixture(util::format("out(%s)", op.name.c_str()));
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void SequencingGraph::addDependency(OpId from, OpId to) {
+  assert(from >= 0 && from < numOps());
+  assert(to >= 0 && to < numOps());
+  assert(from != to);
+  deps_.push_back(Dependency{from, to});
+}
+
+std::vector<OpId> SequencingGraph::parents(OpId id) const {
+  std::vector<OpId> out;
+  for (const Dependency& d : deps_)
+    if (d.to == id) out.push_back(d.from);
+  return out;
+}
+
+std::vector<OpId> SequencingGraph::children(OpId id) const {
+  std::vector<OpId> out;
+  for (const Dependency& d : deps_)
+    if (d.from == id) out.push_back(d.to);
+  return out;
+}
+
+std::vector<OpId> SequencingGraph::sinkOps() const {
+  std::vector<OpId> out;
+  for (const Operation& op : ops_)
+    if (children(op.id).empty()) out.push_back(op.id);
+  return out;
+}
+
+bool SequencingGraph::isAcyclic() const {
+  // Kahn's algorithm: acyclic iff all nodes get popped.
+  std::vector<int> indegree(ops_.size(), 0);
+  for (const Dependency& d : deps_)
+    ++indegree[static_cast<std::size_t>(d.to)];
+  std::deque<OpId> queue;
+  for (const Operation& op : ops_)
+    if (indegree[static_cast<std::size_t>(op.id)] == 0)
+      queue.push_back(op.id);
+  int popped = 0;
+  while (!queue.empty()) {
+    const OpId id = queue.front();
+    queue.pop_front();
+    ++popped;
+    for (OpId child : children(id))
+      if (--indegree[static_cast<std::size_t>(child)] == 0)
+        queue.push_back(child);
+  }
+  return popped == numOps();
+}
+
+std::vector<OpId> SequencingGraph::topologicalOrder() const {
+  assert(isAcyclic());
+  std::vector<int> indegree(ops_.size(), 0);
+  for (const Dependency& d : deps_)
+    ++indegree[static_cast<std::size_t>(d.to)];
+  std::deque<OpId> queue;
+  for (const Operation& op : ops_)
+    if (indegree[static_cast<std::size_t>(op.id)] == 0)
+      queue.push_back(op.id);
+  std::vector<OpId> order;
+  order.reserve(ops_.size());
+  while (!queue.empty()) {
+    const OpId id = queue.front();
+    queue.pop_front();
+    order.push_back(id);
+    for (OpId child : children(id))
+      if (--indegree[static_cast<std::size_t>(child)] == 0)
+        queue.push_back(child);
+  }
+  return order;
+}
+
+int SequencingGraph::totalEdgeCount() const {
+  int total = numDependencies();
+  for (const Operation& op : ops_)
+    total += static_cast<int>(op.reagent_inputs.size());
+  total += static_cast<int>(sinkOps().size());
+  return total;
+}
+
+}  // namespace pdw::assay

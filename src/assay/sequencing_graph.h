@@ -1,0 +1,107 @@
+// Sequencing graph G(O, E) of a bioassay (paper §II, Fig. 1(c)).
+//
+// Nodes are biochemical operations with execution times; edges are fluid
+// dependencies (the result of o_j is an input of o_i). Operations may
+// additionally consume externally injected reagents; results not consumed by
+// another operation leave the chip as assay outputs. The |E| bookkeeping of
+// Table II counts dependency edges plus reagent-input and output edges (see
+// DESIGN.md §7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device.h"
+#include "assay/fluid.h"
+
+namespace pdw::assay {
+
+using OpId = int;
+
+enum class OpKind {
+  Mix,
+  Heat,
+  Detect,
+  Filter,
+  Store,
+};
+
+const char* toString(OpKind kind);
+
+/// Device kind an operation must be bound to.
+arch::DeviceKind requiredDevice(OpKind kind);
+
+struct Operation {
+  OpId id = -1;
+  OpKind kind = OpKind::Mix;
+  std::string name;
+  double duration_s = 1.0;              ///< t(o_i) of eq. 1
+  std::vector<FluidId> reagent_inputs;  ///< externally injected reagents
+  FluidId result = -1;                  ///< out_i, assigned by the graph
+  /// The operation leaves waste in its device that must be flushed to a
+  /// waste port afterwards (a `$`-task in Table I terms).
+  bool produces_waste = false;
+};
+
+struct Dependency {
+  OpId from = -1;  ///< producer o_j
+  OpId to = -1;    ///< consumer o_i
+};
+
+class SequencingGraph {
+ public:
+  explicit SequencingGraph(std::string name = "assay");
+
+  /// Access to the fluid registry (reagents, op results, buffer, waste).
+  FluidRegistry& fluids() { return fluids_; }
+  const FluidRegistry& fluids() const { return fluids_; }
+
+  /// Add an operation. Its result fluid is registered automatically.
+  OpId addOperation(OpKind kind, double duration_s,
+                    std::vector<FluidId> reagent_inputs = {},
+                    std::string name = {});
+
+  /// Add a dependency edge e_{j,i}: result of `from` feeds `to`.
+  void addDependency(OpId from, OpId to);
+
+  /// Mark an operation as leaving waste in its device (see
+  /// Operation::produces_waste).
+  void setProducesWaste(OpId id, bool value = true) {
+    ops_[static_cast<std::size_t>(id)].produces_waste = value;
+  }
+
+  const std::string& name() const { return name_; }
+  const Operation& op(OpId id) const {
+    return ops_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<Operation>& ops() const { return ops_; }
+  const std::vector<Dependency>& dependencies() const { return deps_; }
+
+  std::vector<OpId> parents(OpId id) const;
+  std::vector<OpId> children(OpId id) const;
+
+  /// Operations whose result no other operation consumes; their results are
+  /// transported off-chip as assay outputs.
+  std::vector<OpId> sinkOps() const;
+
+  /// True if the dependency relation is acyclic.
+  bool isAcyclic() const;
+
+  /// Topological order; requires isAcyclic().
+  std::vector<OpId> topologicalOrder() const;
+
+  int numOps() const { return static_cast<int>(ops_.size()); }
+  /// Dependency edges only.
+  int numDependencies() const { return static_cast<int>(deps_.size()); }
+  /// Paper |E| convention: dependencies + reagent-input edges + output
+  /// edges (one per sink operation).
+  int totalEdgeCount() const;
+
+ private:
+  std::string name_;
+  FluidRegistry fluids_;
+  std::vector<Operation> ops_;
+  std::vector<Dependency> deps_;
+};
+
+}  // namespace pdw::assay

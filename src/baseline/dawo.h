@@ -1,0 +1,32 @@
+// DAWO: the delay-aware wash optimization baseline of the paper's
+// evaluation (ref. [10], reimplemented from the paper's description):
+//
+//   "wash operations are first introduced based on the positions of
+//    contaminated spots. Next, the breadth-first-search algorithm is
+//    employed to compute wash paths on the chip. Moreover, a sweep-line
+//    method is used to assign wash operations to appropriate time
+//    intervals."
+//
+// Concretely: every contaminated spot group (the spots deposited by one
+// fluidic task/operation) that is reused later becomes one wash operation —
+// demand-driven, so the Type-1 "never reused" exemption applies, but the
+// Type-2/3 analyses and the removal integration of PDW do not. Wash paths
+// are BFS nearest-port chains computed independently per operation (no
+// resource sharing), and the sweep-line assignment is the greedy
+// earliest-slot insertion of wash::rescheduleWithWashes.
+#pragma once
+
+#include "assay/schedule.h"
+#include "wash/plan.h"
+#include "wash/wash_op.h"
+
+namespace pdw::baseline {
+
+struct DawoOptions {
+  wash::WashParams wash;
+};
+
+wash::WashPlanResult runDawo(const assay::AssaySchedule& base,
+                             const DawoOptions& options = {});
+
+}  // namespace pdw::baseline

@@ -1,0 +1,55 @@
+// PathDriver-Wash (PDW): the paper's primary contribution.
+//
+// Pipeline (paper §III):
+//   1. contamination replay + wash-necessity analysis (Type 1/2/3,
+//      eqs. 9-11) on the given base schedule,
+//   2. clustering of wash targets into wash operations,
+//   3. ILP wash-path routing per operation (eqs. 12-15 + connectivity cuts),
+//   4. scheduling ILP with integration (eqs. 1-8, 16-26) — with a greedy
+//      insertion fallback when the solver budget is exhausted (best-effort,
+//      like the paper's 15-minute cap).
+//
+// Every stage is individually switchable for the ablation benches.
+#pragma once
+
+#include "assay/schedule.h"
+#include "core/schedule_ilp.h"
+#include "core/wash_path_ilp.h"
+#include "wash/plan.h"
+#include "wash/wash_op.h"
+
+namespace pdw::core {
+
+struct PdwOptions {
+  /// Objective weights of eq. 26 (paper §IV: 0.3 / 0.3 / 0.4).
+  double alpha = 0.3;
+  double beta = 0.3;
+  double gamma = 0.4;
+
+  wash::WashParams wash;
+  wash::NecessityOptions necessity;
+  wash::ClusterOptions cluster;
+  WashPathOptions path;
+
+  /// Route wash paths with the ILP (false: BFS heuristic — ablation).
+  bool use_ilp_paths = true;
+  /// Re-time with the scheduling ILP (false: greedy insertion — ablation).
+  bool use_ilp_schedule = true;
+  /// Integrate excess removals into washes (paper §II-B; ablation).
+  bool enable_integration = true;
+
+  double order_horizon_s = 12.0;
+  ilp::SolveParams schedule_solver;
+
+  PdwOptions() {
+    schedule_solver.time_limit_seconds = 8.0;
+    schedule_solver.node_limit = 60000;
+  }
+};
+
+/// Run PDW on a wash-oblivious base schedule. The returned schedule points
+/// to the same graph/chip as `base`.
+wash::WashPlanResult runPathDriverWash(const assay::AssaySchedule& base,
+                                       const PdwOptions& options = {});
+
+}  // namespace pdw::core

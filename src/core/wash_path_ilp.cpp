@@ -1,0 +1,335 @@
+#include "core/wash_path_ilp.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "arch/router.h"
+#include "ilp/solver.h"
+#include "util/logging.h"
+
+namespace pdw::core {
+
+namespace {
+
+using arch::Cell;
+using arch::ChipLayout;
+using arch::FlowPath;
+using ilp::LinExpr;
+using ilp::Model;
+using ilp::VarId;
+
+/// Candidate region: non-port, non-foreign-device cells inside the inflated
+/// bounding box of targets and the listed port cells.
+std::vector<Cell> buildRegion(const ChipLayout& chip,
+                              const std::vector<Cell>& targets, int inflate,
+                              bool whole_grid) {
+  int min_x = chip.width(), min_y = chip.height(), max_x = -1, max_y = -1;
+  const auto extend = [&](Cell c) {
+    min_x = std::min(min_x, c.x);
+    min_y = std::min(min_y, c.y);
+    max_x = std::max(max_x, c.x);
+    max_y = std::max(max_y, c.y);
+  };
+  for (const Cell& t : targets) extend(t);
+  // Extend toward the two nearest flow ports and two nearest waste ports
+  // only — extending by every port would always inflate the region to the
+  // whole grid (ports line the boundary). Ports outside the region are
+  // automatically unselectable (their adjacency constraint forces fp=0).
+  const Cell center{(min_x + max_x) / 2, (min_y + max_y) / 2};
+  const auto extendNearest = [&](const std::vector<arch::PortId>& ports) {
+    std::vector<arch::PortId> sorted = ports;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](arch::PortId a, arch::PortId b) {
+                return arch::manhattan(chip.port(a).cell, center) <
+                       arch::manhattan(chip.port(b).cell, center);
+              });
+    for (std::size_t i = 0; i < sorted.size() && i < 2; ++i)
+      extend(chip.port(sorted[i]).cell);
+  };
+  extendNearest(chip.flowPorts());
+  extendNearest(chip.wastePorts());
+  if (whole_grid) {
+    min_x = 0;
+    min_y = 0;
+    max_x = chip.width() - 1;
+    max_y = chip.height() - 1;
+  } else {
+    min_x = std::max(0, min_x - inflate);
+    min_y = std::max(0, min_y - inflate);
+    max_x = std::min(chip.width() - 1, max_x + inflate);
+    max_y = std::min(chip.height() - 1, max_y + inflate);
+  }
+
+  const std::set<Cell> target_set(targets.begin(), targets.end());
+  std::vector<Cell> region;
+  for (int y = min_y; y <= max_y; ++y)
+    for (int x = min_x; x <= max_x; ++x) {
+      const Cell c{x, y};
+      if (chip.isPortCell(c)) continue;
+      // Foreign devices are avoided in the restricted pass; the whole-grid
+      // retry admits them (the scheduler serializes washes against the
+      // operations of any device they cross).
+      if (!whole_grid && chip.isDeviceCell(c) && !target_set.count(c))
+        continue;
+      region.push_back(c);
+    }
+  return region;
+}
+
+struct PathModel {
+  Model model;
+  std::map<Cell, VarId> cell_var;
+  std::map<Cell, VarId> flow_end;   // e^f: flow-side endpoint marker
+  std::map<Cell, VarId> waste_end;  // e^w: waste-side endpoint marker
+  std::vector<std::pair<arch::PortId, VarId>> flow_ports;
+  std::vector<std::pair<arch::PortId, VarId>> waste_ports;
+};
+
+PathModel buildModel(const ChipLayout& chip, const std::vector<Cell>& region,
+                     const std::vector<Cell>& targets) {
+  PathModel pm;
+  Model& m = pm.model;
+  const std::set<Cell> region_set(region.begin(), region.end());
+
+  for (const Cell& c : region) {
+    pm.cell_var[c] = m.addBinary("u" + arch::toString(c));
+    pm.flow_end[c] = m.addBinary("ef" + arch::toString(c));
+    pm.waste_end[c] = m.addBinary("ew" + arch::toString(c));
+  }
+
+  // Eq. 15: every target is covered (fixed to 1).
+  for (const Cell& t : targets) m.setBounds(pm.cell_var.at(t), 1.0, 1.0);
+
+  // Endpoint markers imply selection; exactly one of each.
+  LinExpr sum_ef, sum_ew;
+  for (const Cell& c : region) {
+    m.addLessEqual(LinExpr(pm.flow_end[c]) - LinExpr(pm.cell_var[c]), 0.0);
+    m.addLessEqual(LinExpr(pm.waste_end[c]) - LinExpr(pm.cell_var[c]), 0.0);
+    sum_ef += LinExpr(pm.flow_end[c]);
+    sum_ew += LinExpr(pm.waste_end[c]);
+  }
+  m.addEqual(sum_ef, 1.0, "one_flow_end");
+  m.addEqual(sum_ew, 1.0, "one_waste_end");
+
+  // Eq. 12: exactly one flow port and one waste port.
+  LinExpr sum_fp, sum_wp;
+  for (arch::PortId p : chip.flowPorts()) {
+    const VarId v = m.addBinary("fp" + std::to_string(p));
+    pm.flow_ports.emplace_back(p, v);
+    sum_fp += LinExpr(v);
+  }
+  for (arch::PortId p : chip.wastePorts()) {
+    const VarId v = m.addBinary("wp" + std::to_string(p));
+    pm.waste_ports.emplace_back(p, v);
+    sum_wp += LinExpr(v);
+  }
+  m.addEqual(sum_fp, 1.0, "one_flow_port");
+  m.addEqual(sum_wp, 1.0, "one_waste_port");
+
+  // Eq. 13: the chosen port has its endpoint in an adjacent region cell,
+  // and an endpoint cell must neighbour the chosen port.
+  const auto linkPorts =
+      [&](const std::vector<std::pair<arch::PortId, VarId>>& ports,
+          const std::map<Cell, VarId>& ends) {
+        // endpoint -> some adjacent chosen port
+        for (const Cell& c : region) {
+          LinExpr adjacent_ports;
+          for (const auto& [pid, pvar] : ports)
+            if (arch::adjacent(chip.port(pid).cell, c))
+              adjacent_ports += LinExpr(pvar);
+          m.addLessEqual(LinExpr(ends.at(c)) - adjacent_ports, 0.0);
+        }
+        // chosen port -> some adjacent endpoint
+        for (const auto& [pid, pvar] : ports) {
+          LinExpr adjacent_ends;
+          for (const Cell& n : chip.neighbors(chip.port(pid).cell))
+            if (region_set.count(n)) adjacent_ends += LinExpr(ends.at(n));
+          m.addLessEqual(LinExpr(pvar) - adjacent_ends, 0.0);
+        }
+      };
+  linkPorts(pm.flow_ports, pm.flow_end);
+  linkPorts(pm.waste_ports, pm.waste_end);
+
+  // Eq. 14 (generalized to endpoints): a selected cell has exactly
+  // 2 - e^f - e^w selected neighbours; unselected cells are unconstrained.
+  for (const Cell& c : region) {
+    LinExpr neighbors;
+    for (const Cell& n : chip.neighbors(c))
+      if (region_set.count(n)) neighbors += LinExpr(pm.cell_var.at(n));
+    const LinExpr degree_req = 2.0 * LinExpr(pm.cell_var[c]) -
+                               LinExpr(pm.flow_end[c]) -
+                               LinExpr(pm.waste_end[c]);
+    // neighbors >= degree_req - 2*(1-u): inactive when u=0.
+    m.addGreaterEqual(
+        neighbors - degree_req - 2.0 * LinExpr(pm.cell_var[c]), -2.0);
+    // neighbors <= degree_req + 4*(1-u).
+    m.addLessEqual(
+        neighbors - degree_req + 4.0 * LinExpr(pm.cell_var[c]), 4.0);
+  }
+
+  // Objective: minimize path length (the beta * L_wash term of eq. 26).
+  LinExpr objective;
+  for (const Cell& c : region) objective += LinExpr(pm.cell_var[c]);
+  m.setObjective(objective);
+  return pm;
+}
+
+/// Extract the ordered path from an integral solution, or report the cells
+/// of a disconnected cycle component for a cut.
+struct Extraction {
+  std::optional<FlowPath> path;
+  std::vector<Cell> cycle_component;  // non-empty => add a cut
+};
+
+Extraction extractPath(const ChipLayout& chip, const PathModel& pm,
+                       const ilp::Solution& sol) {
+  Extraction out;
+  std::set<Cell> selected;
+  Cell flow_cell{}, waste_cell{};
+  for (const auto& [c, v] : pm.cell_var)
+    if (sol.boolValue(v)) selected.insert(c);
+  for (const auto& [c, v] : pm.flow_end)
+    if (sol.boolValue(v)) flow_cell = c;
+  for (const auto& [c, v] : pm.waste_end)
+    if (sol.boolValue(v)) waste_cell = c;
+
+  // Walk from the flow endpoint along selected cells.
+  std::vector<Cell> ordered{flow_cell};
+  std::set<Cell> visited{flow_cell};
+  Cell current = flow_cell;
+  while (current != waste_cell || ordered.size() == 1) {
+    Cell next{-1, -1};
+    for (const Cell& n : chip.neighbors(current))
+      if (selected.count(n) && !visited.count(n)) {
+        next = n;
+        break;
+      }
+    if (next.x < 0) break;
+    ordered.push_back(next);
+    visited.insert(next);
+    current = next;
+    if (current == waste_cell) break;
+  }
+
+  if (current == waste_cell && visited.size() == selected.size()) {
+    // Single connected path covering all selected cells: attach the ports.
+    Cell flow_port{}, waste_port{};
+    for (const auto& [pid, v] : pm.flow_ports)
+      if (sol.boolValue(v)) flow_port = chip.port(pid).cell;
+    for (const auto& [pid, v] : pm.waste_ports)
+      if (sol.boolValue(v)) waste_port = chip.port(pid).cell;
+    std::vector<Cell> cells;
+    cells.push_back(flow_port);
+    cells.insert(cells.end(), ordered.begin(), ordered.end());
+    cells.push_back(waste_port);
+    out.path = FlowPath(std::move(cells));
+    return out;
+  }
+
+  // Disconnected: some selected component is a cycle. Report one.
+  for (const Cell& c : selected) {
+    if (visited.count(c)) continue;
+    // Flood-fill the component containing c.
+    std::vector<Cell> component{c};
+    std::set<Cell> seen{c};
+    for (std::size_t i = 0; i < component.size(); ++i)
+      for (const Cell& n : chip.neighbors(component[i]))
+        if (selected.count(n) && !seen.count(n)) {
+          seen.insert(n);
+          component.push_back(n);
+        }
+    out.cycle_component = std::move(component);
+    return out;
+  }
+  // Walk stalled inside the main component (should not happen with valid
+  // degree constraints); report it as a cut to force a different solution.
+  out.cycle_component.assign(selected.begin(), selected.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
+                                         const std::vector<Cell>& targets,
+                                         const WashPathOptions& options,
+                                         WashPathStats* stats) {
+  WashPathStats local;
+  WashPathStats& s = stats ? *stats : local;
+  if (targets.empty()) return std::nullopt;
+
+  std::optional<FlowPath> ilp_path;
+  for (const bool whole_grid : {false, true}) {
+    const std::vector<Cell> region =
+        buildRegion(chip, targets, options.region_inflate, whole_grid);
+    if (static_cast<int>(region.size()) > options.max_region_cells) break;
+    PathModel pm = buildModel(chip, region, targets);
+
+    // Lazy connectivity-cut loop.
+    for (int round = 0; round < 25 && !ilp_path; ++round) {
+      ++s.ilp_solves;
+      const ilp::Solution sol = ilp::solve(pm.model, options.solver);
+      if (!sol.hasSolution()) break;  // infeasible/limits: try wider region
+      Extraction ex = extractPath(chip, pm, sol);
+      if (ex.path) {
+        ilp_path = std::move(ex.path);
+        break;
+      }
+      // Add the cut sum_{c in C} u_c <= |C| - 1 and re-solve.
+      LinExpr cut;
+      for (const Cell& c : ex.cycle_component)
+        cut += LinExpr(pm.cell_var.at(c));
+      pm.model.addLessEqual(
+          cut, static_cast<double>(ex.cycle_component.size()) - 1.0,
+          "connectivity_cut");
+      ++s.connectivity_cuts;
+    }
+    if (ilp_path) break;
+  }
+
+  if (!options.fallback_heuristic) return ilp_path;
+
+  // The restricted-region ILP can be beaten by the grid-wide heuristic;
+  // keep whichever path is shorter.
+  std::optional<FlowPath> heuristic = routeWashPathHeuristic(chip, targets);
+  if (!ilp_path) {
+    s.used_fallback = true;
+    return heuristic;
+  }
+  if (heuristic && heuristic->size() < ilp_path->size()) return heuristic;
+  return ilp_path;
+}
+
+std::optional<FlowPath> routeWashPathHeuristic(
+    const ChipLayout& chip, const std::vector<Cell>& targets) {
+  if (targets.empty()) return std::nullopt;
+  arch::Router router(chip);
+
+  // First pass blocks foreign devices (devices that are not wash targets);
+  // if some target is only reachable through a device — e.g. a boundary
+  // cell pocketed between a device and waste ports — retry allowing device
+  // traversal (flushing buffer through an idle device is harmless; the
+  // scheduler serializes the wash against that device's operations).
+  const std::set<Cell> target_set(targets.begin(), targets.end());
+  arch::CellSet foreign_devices = chip.makeCellSet();
+  for (const arch::Device& d : chip.devices())
+    if (!target_set.count(d.cell)) foreign_devices.insert(d.cell);
+  const arch::CellSet no_blockage = chip.makeCellSet();
+
+  const arch::CellSet* blockages[2] = {&foreign_devices, &no_blockage};
+  for (const arch::CellSet* blocked : blockages) {
+    std::optional<FlowPath> best;
+    for (arch::PortId fp : chip.flowPorts()) {
+      for (arch::PortId wp : chip.wastePorts()) {
+        const auto path = router.routeVia(
+            chip.port(fp).cell, targets, chip.port(wp).cell, blocked);
+        if (!path) continue;
+        if (!best || path->size() < best->size()) best = path;
+      }
+    }
+    if (best) return best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pdw::core

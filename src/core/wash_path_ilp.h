@@ -1,0 +1,61 @@
+// Wash-path routing.
+//
+// ILP formulation of paper eqs. 12-15: choose one flow port and one waste
+// port (eq. 12), exactly one path cell adjacent to each chosen port
+// (eq. 13), degree-2 continuity on interior path cells (eq. 14), and cover
+// every wash target (eq. 15), minimizing path length (the L_wash term of
+// eq. 26). Degree constraints alone admit disconnected cycles; the router
+// adds lazy connectivity cuts (for a selected cycle component C:
+// sum u_c <= |C|-1) and re-solves until the selection is a single path —
+// the standard exact completion of the formulation (DESIGN.md §6).
+//
+// A BFS nearest-port chaining heuristic (the wash-path method of the DAWO
+// baseline [10]) is provided both as a fallback and for the ablation bench.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/path.h"
+#include "ilp/types.h"
+
+namespace pdw::core {
+
+struct WashPathStats {
+  int ilp_solves = 0;
+  int connectivity_cuts = 0;
+  bool used_fallback = false;
+};
+
+struct WashPathOptions {
+  ilp::SolveParams solver;
+  /// Candidate-region inflation around the targets' bounding box.
+  int region_inflate = 2;
+  /// Skip the ILP (straight to the heuristic) when the candidate region
+  /// exceeds this many cells — the exact model is reserved for the
+  /// localized routing problems it is meant for.
+  int max_region_cells = 140;
+  /// Fall back to the BFS heuristic when the ILP fails or times out; when
+  /// both succeed the shorter path wins.
+  bool fallback_heuristic = true;
+
+  WashPathOptions() {
+    solver.time_limit_seconds = 1.5;
+    solver.node_limit = 8000;
+  }
+};
+
+/// Route an optimal wash path covering `targets` on `chip` via the ILP.
+/// `occupied_devices` (optional) marks device cells the path must avoid
+/// (devices holding fluids); target cells are always allowed.
+std::optional<arch::FlowPath> routeWashPathIlp(
+    const arch::ChipLayout& chip, const std::vector<arch::Cell>& targets,
+    const WashPathOptions& options = {}, WashPathStats* stats = nullptr);
+
+/// BFS heuristic: nearest flow port -> greedy target chain -> nearest waste
+/// port (the DAWO baseline's wash-path construction).
+std::optional<arch::FlowPath> routeWashPathHeuristic(
+    const arch::ChipLayout& chip, const std::vector<arch::Cell>& targets);
+
+}  // namespace pdw::core

@@ -1,0 +1,292 @@
+#include "ilp/branch_bound.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+
+#include "ilp/simplex.h"
+#include "util/logging.h"
+
+namespace pdw::ilp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Node {
+  int parent = -1;    ///< index into the node arena, -1 for root
+  VarId var = -1;     ///< variable whose bound this node changes
+  double lower = 0.0;
+  double upper = 0.0;
+  double bound = -kInfinity;  ///< LP bound inherited from the parent
+  int depth = 0;
+};
+
+struct QueueEntry {
+  double bound;
+  int node;
+  bool operator>(const QueueEntry& other) const {
+    return bound > other.bound;
+  }
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const SolveParams& params)
+      : model_(model), params_(params), start_(Clock::now()) {
+    for (VarId v = 0; v < model.numVars(); ++v)
+      if (model.var(v).type != VarType::Continuous) integer_vars_.push_back(v);
+  }
+
+  Solution run() {
+    Solution result;
+    base_lower_.resize(static_cast<std::size_t>(model_.numVars()));
+    base_upper_.resize(static_cast<std::size_t>(model_.numVars()));
+    for (VarId v = 0; v < model_.numVars(); ++v) {
+      base_lower_[static_cast<std::size_t>(v)] = model_.var(v).lower;
+      base_upper_[static_cast<std::size_t>(v)] = model_.var(v).upper;
+    }
+
+    // Warm start: a feasible caller-provided point seeds the incumbent.
+    if (params_.warm_start.size() ==
+        static_cast<std::size_t>(model_.numVars())) {
+      std::vector<double> warm = params_.warm_start;
+      for (VarId v : integer_vars_)
+        warm[static_cast<std::size_t>(v)] =
+            std::round(warm[static_cast<std::size_t>(v)]);
+      const std::string violation = model_.firstViolation(warm, 1e-5);
+      if (violation.empty()) {
+        incumbent_ = std::move(warm);
+        incumbent_obj_ = model_.objective().evaluate(incumbent_);
+        has_incumbent_ = true;
+      } else {
+        PDW_LOG(Info, "ilp") << "warm start rejected: " << violation;
+      }
+    }
+
+    nodes_.push_back(Node{});  // root: no bound change
+    open_.push(QueueEntry{-kInfinity, 0});
+
+    bool hit_limit = false;
+    bool lp_trouble = false;
+
+    while (!open_.empty()) {
+      if (elapsedSeconds() > params_.time_limit_seconds ||
+          stats_.nodes_explored >= params_.node_limit ||
+          stats_.simplex_iterations >= params_.simplex_iteration_limit) {
+        hit_limit = true;
+        break;
+      }
+
+      const QueueEntry entry = open_.top();
+      open_.pop();
+      if (has_incumbent_ && entry.bound >= incumbent_obj_ - absTol()) continue;
+
+      resolveBounds(entry.node);
+      ++stats_.nodes_explored;
+
+      LpResult lp = solveLp(model_, params_, &lower_, &upper_);
+      stats_.simplex_iterations += lp.iterations;
+
+      if (lp.status == LpStatus::Infeasible) continue;
+      if (lp.status == LpStatus::Unbounded) {
+        // Unboundedness of a node relaxation implies the MILP is unbounded
+        // unless integrality cuts it off; we report it conservatively only
+        // from the root node.
+        if (entry.node == 0 && !has_incumbent_) {
+          result.status = SolveStatus::Unbounded;
+          fillStats(result);
+          return result;
+        }
+        lp_trouble = true;
+        continue;
+      }
+      if (lp.status == LpStatus::IterLimit) {
+        lp_trouble = true;  // optimality can no longer be certified
+        continue;
+      }
+
+      if (has_incumbent_ && lp.objective >= incumbent_obj_ - absTol())
+        continue;
+
+      const VarId branch_var = pickBranchVariable(lp.values);
+      if (branch_var < 0) {
+        acceptIncumbent(lp);
+        if (gapClosed()) break;
+        continue;
+      }
+
+      const double value = lp.values[static_cast<std::size_t>(branch_var)];
+      const double floor_value = std::floor(value + params_.integrality_tol);
+      pushChild(entry.node, branch_var,
+                lower_[static_cast<std::size_t>(branch_var)], floor_value,
+                lp.objective);
+      pushChild(entry.node, branch_var, floor_value + 1.0,
+                upper_[static_cast<std::size_t>(branch_var)], lp.objective);
+    }
+
+    fillStats(result);
+    if (has_incumbent_) {
+      result.objective = incumbent_obj_;
+      result.values = incumbent_;
+      result.status = (hit_limit || lp_trouble || !open_.empty())
+                          ? SolveStatus::Feasible
+                          : SolveStatus::Optimal;
+      if (gapClosed()) result.status = SolveStatus::Optimal;
+    } else if (hit_limit) {
+      result.status = elapsedSeconds() > params_.time_limit_seconds
+                          ? SolveStatus::TimeLimit
+                          : SolveStatus::NodeLimit;
+    } else if (lp_trouble) {
+      result.status = SolveStatus::IterLimit;
+    } else {
+      result.status = SolveStatus::Infeasible;
+    }
+    return result;
+  }
+
+ private:
+  double absTol() const { return 1e-9; }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void fillStats(Solution& result) {
+    stats_.wall_seconds = elapsedSeconds();
+    stats_.best_bound = open_.empty()
+                            ? (has_incumbent_ ? incumbent_obj_ : kInfinity)
+                            : open_.top().bound;
+    result.stats = stats_;
+  }
+
+  bool gapClosed() const {
+    if (!has_incumbent_) return false;
+    if (open_.empty()) return true;
+    const double bound = open_.top().bound;
+    const double gap = (incumbent_obj_ - bound) /
+                       std::max(1.0, std::abs(incumbent_obj_));
+    return gap <= params_.mip_gap;
+  }
+
+  /// Reconstruct the bound vectors for a node by walking its diff chain.
+  void resolveBounds(int node) {
+    lower_ = base_lower_;
+    upper_ = base_upper_;
+    chain_.clear();
+    for (int n = node; n > 0; n = nodes_[static_cast<std::size_t>(n)].parent)
+      chain_.push_back(n);
+    // Apply root-to-leaf so deeper (tighter) changes win.
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+      const Node& n = nodes_[static_cast<std::size_t>(*it)];
+      lower_[static_cast<std::size_t>(n.var)] = n.lower;
+      upper_[static_cast<std::size_t>(n.var)] = n.upper;
+    }
+  }
+
+  /// Most-fractional branching: the integer variable whose LP value is
+  /// farthest from the nearest integer. Returns -1 when the LP point is
+  /// integral within tolerance.
+  VarId pickBranchVariable(const std::vector<double>& values) const {
+    VarId best = -1;
+    double best_frac = params_.integrality_tol;
+    for (VarId v : integer_vars_) {
+      const double value = values[static_cast<std::size_t>(v)];
+      const double frac = std::abs(value - std::round(value));
+      if (frac > best_frac) {
+        best_frac = frac;
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  void acceptIncumbent(const LpResult& lp) {
+    std::vector<double> values = lp.values;
+    for (VarId v : integer_vars_) {
+      auto& value = values[static_cast<std::size_t>(v)];
+      value = std::round(value);
+    }
+    const double objective = model_.objective().evaluate(values);
+    if (has_incumbent_ && objective >= incumbent_obj_ - absTol()) return;
+    if (!model_.isFeasible(values, 1e-5)) {
+      // Snapping pushed the point out of the feasible region (can happen on
+      // near-degenerate LPs); keep searching instead of accepting it.
+      PDW_LOG(Debug, "ilp") << "rejecting numerically infeasible incumbent";
+      return;
+    }
+    incumbent_ = std::move(values);
+    incumbent_obj_ = objective;
+    has_incumbent_ = true;
+    if (params_.log_progress) {
+      PDW_LOG(Info, "ilp") << "incumbent " << incumbent_obj_ << " after "
+                           << stats_.nodes_explored << " nodes";
+    }
+  }
+
+  void pushChild(int parent, VarId var, double lower, double upper,
+                 double bound) {
+    if (lower > upper + 1e-9) return;  // empty branch
+    Node node;
+    node.parent = parent;
+    node.var = var;
+    node.lower = lower;
+    node.upper = upper;
+    node.bound = bound;
+    node.depth = nodes_[static_cast<std::size_t>(parent)].depth + 1;
+    nodes_.push_back(node);
+    open_.push(QueueEntry{bound, static_cast<int>(nodes_.size()) - 1});
+  }
+
+  const Model& model_;
+  const SolveParams& params_;
+  Clock::time_point start_;
+
+  std::vector<VarId> integer_vars_;
+  std::vector<Node> nodes_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      open_;
+  std::vector<double> base_lower_, base_upper_;
+  std::vector<double> lower_, upper_;
+  std::vector<int> chain_;
+
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = kInfinity;
+  bool has_incumbent_ = false;
+
+  SolveStats stats_;
+};
+
+}  // namespace
+
+Solution solveMip(const Model& model, const SolveParams& params) {
+  if (model.numIntegerVars() == 0) {
+    LpResult lp = solveLp(model, params);
+    Solution result;
+    result.stats.simplex_iterations = lp.iterations;
+    switch (lp.status) {
+      case LpStatus::Optimal:
+        result.status = SolveStatus::Optimal;
+        result.objective = lp.objective;
+        result.values = std::move(lp.values);
+        result.stats.best_bound = result.objective;
+        break;
+      case LpStatus::Infeasible:
+        result.status = SolveStatus::Infeasible;
+        break;
+      case LpStatus::Unbounded:
+        result.status = SolveStatus::Unbounded;
+        break;
+      case LpStatus::IterLimit:
+        result.status = SolveStatus::IterLimit;
+        break;
+    }
+    return result;
+  }
+  BranchAndBound solver(model, params);
+  return solver.run();
+}
+
+}  // namespace pdw::ilp

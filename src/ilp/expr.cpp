@@ -1,0 +1,72 @@
+#include "ilp/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdw::ilp {
+
+namespace {
+constexpr double kZeroCoeffTol = 0.0;  // exact-zero removal only
+}
+
+LinExpr LinExpr::term(VarId var, double coeff) {
+  LinExpr e;
+  e.add(var, coeff);
+  return e;
+}
+
+void LinExpr::add(VarId var, double coeff) {
+  if (coeff == kZeroCoeffTol) return;
+  terms_.emplace_back(var, coeff);
+  normalize();
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  constant_ += other.constant_;
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  normalize();
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  constant_ -= other.constant_;
+  for (const auto& [var, coeff] : other.terms_)
+    terms_.emplace_back(var, -coeff);
+  normalize();
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double factor) {
+  constant_ *= factor;
+  if (factor == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [var, coeff] : terms_) coeff *= factor;
+  return *this;
+}
+
+double LinExpr::evaluate(const std::vector<double>& values) const {
+  double total = constant_;
+  for (const auto& [var, coeff] : terms_)
+    total += coeff * values[static_cast<std::size_t>(var)];
+  return total;
+}
+
+void LinExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    VarId var = terms_[i].first;
+    double coeff = 0.0;
+    while (i < terms_.size() && terms_[i].first == var) {
+      coeff += terms_[i].second;
+      ++i;
+    }
+    if (coeff != 0.0) terms_[out++] = {var, coeff};
+  }
+  terms_.resize(out);
+}
+
+}  // namespace pdw::ilp

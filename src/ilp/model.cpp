@@ -1,0 +1,166 @@
+#include "ilp/model.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace pdw::ilp {
+
+const char* toString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal: return "Optimal";
+    case SolveStatus::Feasible: return "Feasible";
+    case SolveStatus::Infeasible: return "Infeasible";
+    case SolveStatus::Unbounded: return "Unbounded";
+    case SolveStatus::IterLimit: return "IterLimit";
+    case SolveStatus::NodeLimit: return "NodeLimit";
+    case SolveStatus::TimeLimit: return "TimeLimit";
+    case SolveStatus::Error: return "Error";
+  }
+  return "?";
+}
+
+const char* toString(Sense sense) {
+  switch (sense) {
+    case Sense::LessEqual: return "<=";
+    case Sense::GreaterEqual: return ">=";
+    case Sense::Equal: return "=";
+  }
+  return "?";
+}
+
+VarId Model::addContinuous(double lower, double upper, std::string name) {
+  assert(lower <= upper);
+  vars_.push_back(Variable{std::move(name), VarType::Continuous, lower, upper});
+  return static_cast<VarId>(vars_.size()) - 1;
+}
+
+VarId Model::addInteger(double lower, double upper, std::string name) {
+  assert(lower <= upper);
+  vars_.push_back(Variable{std::move(name), VarType::Integer, lower, upper});
+  return static_cast<VarId>(vars_.size()) - 1;
+}
+
+VarId Model::addBinary(std::string name) {
+  vars_.push_back(Variable{std::move(name), VarType::Binary, 0.0, 1.0});
+  return static_cast<VarId>(vars_.size()) - 1;
+}
+
+ConstraintId Model::addConstr(const LinExpr& expr, Sense sense, double rhs,
+                              std::string name) {
+  Constraint c;
+  c.name = std::move(name);
+  c.expr = expr;
+  c.rhs = rhs - expr.constant();
+  c.expr.setConstant(0.0);
+  c.sense = sense;
+  constraints_.push_back(std::move(c));
+  return static_cast<ConstraintId>(constraints_.size()) - 1;
+}
+
+void Model::setObjective(LinExpr objective) {
+  objective_ = std::move(objective);
+}
+
+void Model::setBounds(VarId var, double lower, double upper) {
+  assert(lower <= upper);
+  auto& v = vars_[static_cast<std::size_t>(var)];
+  v.lower = lower;
+  v.upper = upper;
+}
+
+int Model::numIntegerVars() const {
+  int count = 0;
+  for (const Variable& v : vars_)
+    if (v.type != VarType::Continuous) ++count;
+  return count;
+}
+
+bool Model::isFeasible(const std::vector<double>& values, double tol) const {
+  return firstViolation(values, tol).empty();
+}
+
+std::string Model::firstViolation(const std::vector<double>& values,
+                                  double tol) const {
+  if (values.size() != vars_.size()) return "wrong value-vector arity";
+  const auto varName = [&](std::size_t j) {
+    return vars_[j].name.empty() ? "x" + std::to_string(j) : vars_[j].name;
+  };
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    const Variable& v = vars_[j];
+    if (values[j] < v.lower - tol || values[j] > v.upper + tol)
+      return "bound violated: " + varName(j) + " = " +
+             std::to_string(values[j]) + " not in [" +
+             std::to_string(v.lower) + ", " + std::to_string(v.upper) + "]";
+    if (v.type != VarType::Continuous &&
+        std::abs(values[j] - std::round(values[j])) > tol)
+      return "integrality violated: " + varName(j) + " = " +
+             std::to_string(values[j]);
+  }
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    const Constraint& c = constraints_[i];
+    const double lhs = c.expr.evaluate(values);
+    const bool bad = (c.sense == Sense::LessEqual && lhs > c.rhs + tol) ||
+                     (c.sense == Sense::GreaterEqual && lhs < c.rhs - tol) ||
+                     (c.sense == Sense::Equal &&
+                      std::abs(lhs - c.rhs) > tol);
+    if (bad) {
+      std::string terms;
+      for (const auto& [var, coeff] : c.expr.terms()) {
+        terms += " + " + std::to_string(coeff) + "*" +
+                 varName(static_cast<std::size_t>(var)) + "(" +
+                 std::to_string(values[static_cast<std::size_t>(var)]) + ")";
+      }
+      return "constraint " + std::to_string(i) +
+             (c.name.empty() ? "" : " (" + c.name + ")") +
+             " violated: lhs=" + std::to_string(lhs) + " " +
+             toString(c.sense) + " rhs=" + std::to_string(c.rhs) + " [" +
+             terms + " ]";
+    }
+  }
+  return {};
+}
+
+std::string Model::debugString() const {
+  std::ostringstream out;
+  const auto varName = [&](VarId v) {
+    const Variable& var = vars_[static_cast<std::size_t>(v)];
+    if (!var.name.empty()) return var.name;
+    return "x" + std::to_string(v);
+  };
+  const auto exprString = [&](const LinExpr& e) {
+    std::ostringstream s;
+    bool first = true;
+    for (const auto& [var, coeff] : e.terms()) {
+      if (!first) s << (coeff >= 0 ? " + " : " - ");
+      else if (coeff < 0) s << "-";
+      first = false;
+      const double mag = std::abs(coeff);
+      if (mag != 1.0) s << mag << " ";
+      s << varName(var);
+    }
+    if (first) s << "0";
+    return s.str();
+  };
+
+  out << "minimize " << exprString(objective_) << "\n";
+  out << "subject to\n";
+  for (const Constraint& c : constraints_) {
+    out << "  ";
+    if (!c.name.empty()) out << c.name << ": ";
+    out << exprString(c.expr) << " " << toString(c.sense) << " " << c.rhs
+        << "\n";
+  }
+  out << "bounds\n";
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    const Variable& v = vars_[j];
+    out << "  " << v.lower << " <= " << varName(static_cast<VarId>(j))
+        << " <= " << v.upper;
+    if (v.type == VarType::Binary) out << " (bin)";
+    if (v.type == VarType::Integer) out << " (int)";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pdw::ilp

@@ -1,0 +1,101 @@
+// Mixed-integer linear programming model container.
+//
+// A Model owns variables (with type, bounds, name), linear constraints and a
+// minimization objective. It is solver-agnostic data; solving happens in
+// `ilp::solve` (solver.h). The API deliberately mirrors the shape of the
+// paper's formulation so constraint-building code in src/core reads like the
+// equations (eqs. 1-26 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ilp/expr.h"
+#include "ilp/types.h"
+
+namespace pdw::ilp {
+
+struct Variable {
+  std::string name;
+  VarType type = VarType::Continuous;
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+struct Constraint {
+  std::string name;
+  LinExpr expr;  ///< constant folded into rhs at solve time
+  Sense sense = Sense::LessEqual;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  /// Add a continuous variable with bounds [lower, upper].
+  VarId addContinuous(double lower, double upper, std::string name = {});
+
+  /// Add a general integer variable with bounds [lower, upper].
+  VarId addInteger(double lower, double upper, std::string name = {});
+
+  /// Add a 0-1 variable.
+  VarId addBinary(std::string name = {});
+
+  /// Add a constraint `expr (sense) rhs`. The expression's constant is moved
+  /// to the right-hand side. Returns the constraint index.
+  ConstraintId addConstr(const LinExpr& expr, Sense sense, double rhs,
+                         std::string name = {});
+
+  /// Convenience forms matching the paper's notation.
+  ConstraintId addLessEqual(const LinExpr& expr, double rhs,
+                            std::string name = {}) {
+    return addConstr(expr, Sense::LessEqual, rhs, std::move(name));
+  }
+  ConstraintId addGreaterEqual(const LinExpr& expr, double rhs,
+                               std::string name = {}) {
+    return addConstr(expr, Sense::GreaterEqual, rhs, std::move(name));
+  }
+  ConstraintId addEqual(const LinExpr& expr, double rhs,
+                        std::string name = {}) {
+    return addConstr(expr, Sense::Equal, rhs, std::move(name));
+  }
+
+  /// Set the minimization objective (replaces any previous objective).
+  void setObjective(LinExpr objective);
+
+  /// Tighten a variable's bounds (used for branching and warm fixes).
+  void setBounds(VarId var, double lower, double upper);
+
+  int numVars() const { return static_cast<int>(vars_.size()); }
+  int numConstraints() const { return static_cast<int>(constraints_.size()); }
+  int numIntegerVars() const;
+
+  const Variable& var(VarId v) const {
+    return vars_[static_cast<std::size_t>(v)];
+  }
+  const Constraint& constraint(ConstraintId c) const {
+    return constraints_[static_cast<std::size_t>(c)];
+  }
+  const std::vector<Variable>& vars() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const LinExpr& objective() const { return objective_; }
+
+  /// True if `values` satisfies every constraint, all bounds and all
+  /// integrality requirements within `tol`. Used by tests and by the
+  /// branch-and-bound incumbent check.
+  bool isFeasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+  /// Empty string when feasible; otherwise a description of the first
+  /// violated bound/integrality/constraint (diagnostics for warm starts).
+  std::string firstViolation(const std::vector<double>& values,
+                             double tol = 1e-6) const;
+
+  /// Human-readable LP-format-ish dump for debugging.
+  std::string debugString() const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> constraints_;
+  LinExpr objective_;
+};
+
+}  // namespace pdw::ilp

@@ -1,0 +1,128 @@
+#include "ilp/presolve.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pdw::ilp {
+
+namespace {
+
+struct Activity {
+  double min = 0.0;
+  double max = 0.0;
+  bool min_finite = true;
+  bool max_finite = true;
+};
+
+Activity rowActivity(const Model& model, const Constraint& c) {
+  Activity activity;
+  for (const auto& [var, coeff] : c.expr.terms()) {
+    const Variable& v = model.var(var);
+    const double lo_term = coeff > 0 ? coeff * v.lower : coeff * v.upper;
+    const double hi_term = coeff > 0 ? coeff * v.upper : coeff * v.lower;
+    if (std::isfinite(lo_term)) activity.min += lo_term;
+    else activity.min_finite = false;
+    if (std::isfinite(hi_term)) activity.max += hi_term;
+    else activity.max_finite = false;
+  }
+  return activity;
+}
+
+}  // namespace
+
+PresolveResult presolve(Model& model, double feasibility_tol, int max_rounds) {
+  PresolveResult result;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    result.rounds = round + 1;
+    bool changed = false;
+
+    for (int ci = 0; ci < model.numConstraints(); ++ci) {
+      const Constraint& c = model.constraint(ci);
+      const Activity activity = rowActivity(model, c);
+
+      // Infeasibility by interval arithmetic.
+      if (c.sense != Sense::GreaterEqual && activity.min_finite &&
+          activity.min > c.rhs + feasibility_tol) {
+        result.infeasible = true;
+        return result;
+      }
+      if (c.sense != Sense::LessEqual && activity.max_finite &&
+          activity.max < c.rhs - feasibility_tol) {
+        result.infeasible = true;
+        return result;
+      }
+
+      // Implied bounds: for `sum a_j x_j <= rhs`,
+      //   a_j x_j <= rhs - minActivity(others)  =>  tighten x_j.
+      // Equalities propagate in both directions.
+      for (const auto& [var, coeff] : c.expr.terms()) {
+        const Variable& v = model.var(var);
+        const bool integer = v.type != VarType::Continuous;
+        double new_lower = v.lower;
+        double new_upper = v.upper;
+
+        // Contribution of the other terms to the activity bounds.
+        const double own_min =
+            coeff > 0 ? coeff * v.lower : coeff * v.upper;
+        const double own_max =
+            coeff > 0 ? coeff * v.upper : coeff * v.lower;
+        const bool others_min_finite =
+            activity.min_finite && std::isfinite(own_min);
+        const bool others_max_finite =
+            activity.max_finite && std::isfinite(own_max);
+        const double others_min =
+            others_min_finite ? activity.min - own_min : 0.0;
+        const double others_max =
+            others_max_finite ? activity.max - own_max : 0.0;
+
+        if (c.sense != Sense::GreaterEqual && others_min_finite) {
+          // a_j x_j <= rhs - others_min
+          const double budget = c.rhs - others_min;
+          if (coeff > 0) {
+            double candidate = budget / coeff;
+            if (integer) candidate = std::floor(candidate + feasibility_tol);
+            new_upper = std::min(new_upper, candidate);
+          } else {
+            double candidate = budget / coeff;
+            if (integer) candidate = std::ceil(candidate - feasibility_tol);
+            new_lower = std::max(new_lower, candidate);
+          }
+        }
+        if (c.sense != Sense::LessEqual && others_max_finite) {
+          // a_j x_j >= rhs - others_max
+          const double budget = c.rhs - others_max;
+          if (coeff > 0) {
+            double candidate = budget / coeff;
+            if (integer) candidate = std::ceil(candidate - feasibility_tol);
+            new_lower = std::max(new_lower, candidate);
+          } else {
+            double candidate = budget / coeff;
+            if (integer) candidate = std::floor(candidate + feasibility_tol);
+            new_upper = std::min(new_upper, candidate);
+          }
+        }
+
+        if (new_lower > new_upper + feasibility_tol) {
+          result.infeasible = true;
+          return result;
+        }
+        new_upper = std::max(new_upper, new_lower);  // clamp tiny crossings
+        if (new_lower > v.lower + 1e-12 || new_upper < v.upper - 1e-12) {
+          model.setBounds(var, new_lower, new_upper);
+          ++result.bounds_tightened;
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  PDW_LOG(Debug, "ilp") << "presolve tightened " << result.bounds_tightened
+                        << " bounds in " << result.rounds << " rounds";
+  return result;
+}
+
+}  // namespace pdw::ilp

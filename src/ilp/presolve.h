@@ -1,0 +1,25 @@
+// Bound-propagation presolve.
+//
+// Tightens variable bounds by propagating constraint activities to a
+// fixpoint. Bound propagation never removes feasible points, so the reduced
+// model has exactly the same solution set; it shrinks the branch-and-bound
+// tree and tames big-M constraints (the scheduling formulation of the paper
+// is big-M-heavy, eqs. 2/3/8/19/20).
+#pragma once
+
+#include "ilp/model.h"
+
+namespace pdw::ilp {
+
+struct PresolveResult {
+  bool infeasible = false;
+  int bounds_tightened = 0;
+  int rounds = 0;
+};
+
+/// Tighten bounds in place. Returns infeasible=true when a constraint is
+/// proven unsatisfiable by interval arithmetic.
+PresolveResult presolve(Model& model, double feasibility_tol = 1e-7,
+                        int max_rounds = 10);
+
+}  // namespace pdw::ilp

@@ -1,0 +1,21 @@
+#include "ilp/solver.h"
+
+#include "ilp/branch_bound.h"
+#include "ilp/presolve.h"
+
+namespace pdw::ilp {
+
+Solution solve(const Model& model, const SolveParams& params) {
+  if (!params.enable_presolve) return solveMip(model, params);
+
+  Model reduced = model;
+  const PresolveResult pre = presolve(reduced, params.feasibility_tol);
+  if (pre.infeasible) {
+    Solution result;
+    result.status = SolveStatus::Infeasible;
+    return result;
+  }
+  return solveMip(reduced, params);
+}
+
+}  // namespace pdw::ilp

@@ -1,0 +1,88 @@
+// Common vocabulary types for the ILP subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pdw::ilp {
+
+/// Index of a decision variable inside a Model.
+using VarId = int;
+
+/// Index of a linear constraint inside a Model.
+using ConstraintId = int;
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class VarType {
+  Continuous,
+  Integer,
+  Binary,  ///< integer with implicit bounds [0, 1]
+};
+
+/// Constraint comparison sense: expr (sense) rhs.
+enum class Sense {
+  LessEqual,
+  GreaterEqual,
+  Equal,
+};
+
+enum class SolveStatus {
+  Optimal,       ///< proven optimal (within tolerances)
+  Feasible,      ///< feasible incumbent found, optimality not proven (limits)
+  Infeasible,    ///< proven infeasible
+  Unbounded,     ///< LP relaxation unbounded below
+  IterLimit,     ///< simplex iteration cap hit without conclusion
+  NodeLimit,     ///< branch-and-bound node cap hit without incumbent
+  TimeLimit,     ///< wall-clock limit hit without incumbent
+  Error,         ///< internal numerical failure
+};
+
+const char* toString(SolveStatus status);
+const char* toString(Sense sense);
+
+/// Search/solve statistics, filled by the solver.
+struct SolveStats {
+  std::int64_t simplex_iterations = 0;
+  std::int64_t nodes_explored = 0;
+  double best_bound = -kInfinity;  ///< proven lower bound (minimization)
+  double wall_seconds = 0.0;
+  int cuts_added = 0;
+};
+
+/// Result of solving a Model. `values` is indexed by VarId of the *original*
+/// model (presolve-eliminated variables are filled back in).
+struct Solution {
+  SolveStatus status = SolveStatus::Error;
+  double objective = 0.0;
+  std::vector<double> values;
+  SolveStats stats;
+
+  bool hasSolution() const {
+    return status == SolveStatus::Optimal || status == SolveStatus::Feasible;
+  }
+  double value(VarId v) const { return values[static_cast<std::size_t>(v)]; }
+  /// Convenience for 0-1 variables: value rounded to bool.
+  bool boolValue(VarId v) const { return value(v) > 0.5; }
+};
+
+/// Knobs for the solver; defaults suit the PDW models.
+struct SolveParams {
+  double time_limit_seconds = 10.0;
+  std::int64_t node_limit = 200000;
+  std::int64_t simplex_iteration_limit = 400000;
+  double integrality_tol = 1e-6;
+  double feasibility_tol = 1e-7;
+  double mip_gap = 1e-6;        ///< relative gap for early stop
+  bool enable_presolve = true;
+  bool log_progress = false;
+  /// Optional warm start (one value per model variable). If it is feasible
+  /// it seeds the branch-and-bound incumbent, so the solver never returns
+  /// anything worse than this point (the paper's "best-effort within the
+  /// time limit" semantics).
+  std::vector<double> warm_start;
+};
+
+}  // namespace pdw::ilp

@@ -1,0 +1,91 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace pdw::sim {
+
+namespace {
+
+char glyphFor(assay::TaskKind kind) {
+  switch (kind) {
+    case assay::TaskKind::Transport: return '=';
+    case assay::TaskKind::ExcessRemoval: return '-';
+    case assay::TaskKind::WasteRemoval: return '-';
+    case assay::TaskKind::Wash: return '~';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string renderGantt(const assay::AssaySchedule& schedule,
+                        const GanttOptions& options) {
+  const double total = schedule.completionTime();
+  if (total <= 0.0) return "(empty schedule)\n";
+
+  double spc = options.seconds_per_column;
+  while (total / spc > options.max_width) spc *= 2.0;
+  const int width = static_cast<int>(std::ceil(total / spc)) + 1;
+
+  const auto column = [&](double t) {
+    return std::min(width - 1, static_cast<int>(t / spc));
+  };
+
+  struct Row {
+    std::string label;
+    double start, end;
+    char glyph;
+  };
+  std::vector<Row> rows;
+
+  // Operations, sorted by device then start.
+  std::vector<assay::OpSchedule> ops = schedule.opSchedules();
+  std::sort(ops.begin(), ops.end(),
+            [](const assay::OpSchedule& a, const assay::OpSchedule& b) {
+              if (a.device != b.device) return a.device < b.device;
+              return a.start < b.start;
+            });
+  for (const assay::OpSchedule& s : ops) {
+    rows.push_back({util::format("%-10s %-8s",
+                                 schedule.graph().op(s.op).name.c_str(),
+                                 schedule.chip().device(s.device).name.c_str()),
+                    s.start, s.end, '#'});
+  }
+
+  if (options.show_tasks) {
+    for (assay::TaskId id : schedule.tasksByStart()) {
+      const assay::FluidTask& t = schedule.task(id);
+      if (t.duration() <= 1e-9) continue;  // integrated removals
+      rows.push_back({util::format("%-10s #%-7d", toString(t.kind), t.id),
+                      t.start, t.end, glyphFor(t.kind)});
+    }
+  }
+
+  std::ostringstream out;
+  const std::string indent(21, ' ');
+  // Time axis: a tick every 10 columns.
+  out << indent;
+  for (int c = 0; c < width; c += 10)
+    out << util::format("%-10.10s", util::format("|%g", c * spc).c_str());
+  out << "\n";
+
+  for (const Row& row : rows) {
+    std::string bar(static_cast<std::size_t>(width), ' ');
+    const int begin = column(row.start);
+    const int end = std::max(begin, column(row.end - 1e-9));
+    for (int c = begin; c <= end; ++c)
+      bar[static_cast<std::size_t>(c)] = row.glyph;
+    out << util::format("%-20s ", row.label.c_str()) << bar << "\n";
+  }
+  out << indent
+      << util::format("(1 column = %g s; # op, = transport, - removal, "
+                      "~ wash)\n",
+                      spc);
+  return out.str();
+}
+
+}  // namespace pdw::sim

@@ -1,0 +1,27 @@
+// ASCII Gantt rendering of assay schedules — the textual counterpart of
+// the paper's Fig. 2(b)/Fig. 3 timeline charts. One row per operation
+// (grouped by device) and per fluidic task, with a second-resolution time
+// axis.
+#pragma once
+
+#include <string>
+
+#include "assay/schedule.h"
+
+namespace pdw::sim {
+
+struct GanttOptions {
+  /// Seconds per character column (auto-scaled if the chart would exceed
+  /// max_width).
+  double seconds_per_column = 1.0;
+  int max_width = 100;
+  /// Include transport/removal/wash rows (operations always shown).
+  bool show_tasks = true;
+};
+
+/// Render the schedule as an ASCII Gantt chart. Glyphs: '#' operation,
+/// '=' transport, '-' excess/waste removal, '~' wash.
+std::string renderGantt(const assay::AssaySchedule& schedule,
+                        const GanttOptions& options = {});
+
+}  // namespace pdw::sim

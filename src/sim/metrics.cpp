@@ -1,0 +1,79 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pdw::sim {
+
+std::string WashMetrics::describe() const {
+  return util::format(
+      "N_wash=%d L_wash=%.0fmm T_delay=%.1fs T_assay=%.1fs avg_wait=%.2fs "
+      "wash_time=%.1fs buffer=%.0f concurrency=%.0f%%",
+      n_wash, l_wash_mm, t_delay, t_assay, avg_wait, total_wash_time,
+      buffer_cell_volumes, wash_concurrency * 100.0);
+}
+
+namespace {
+
+/// Length of [s1,e1] that overlaps any interval in `others`.
+double overlapSeconds(double s1, double e1,
+                      const std::vector<std::pair<double, double>>& others) {
+  // Merge-and-measure on the clipped intervals.
+  std::vector<std::pair<double, double>> clipped;
+  for (const auto& [s2, e2] : others) {
+    const double lo = std::max(s1, s2);
+    const double hi = std::min(e1, e2);
+    if (hi > lo) clipped.emplace_back(lo, hi);
+  }
+  std::sort(clipped.begin(), clipped.end());
+  double total = 0.0, cursor = s1;
+  for (const auto& [lo, hi] : clipped) {
+    const double begin = std::max(cursor, lo);
+    if (hi > begin) {
+      total += hi - begin;
+      cursor = hi;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+WashMetrics computeMetrics(const assay::AssaySchedule& washed,
+                           const assay::AssaySchedule& base) {
+  WashMetrics m;
+  m.n_wash = washed.washCount();
+  m.l_wash_mm = washed.washLengthMm();
+  m.t_assay = washed.completionTime();
+  m.t_delay = std::max(0.0, m.t_assay - base.completionTime());
+  m.total_wash_time = washed.totalWashTime();
+
+  double wait_total = 0.0;
+  int count = 0;
+  for (const assay::OpSchedule& w : washed.opSchedules()) {
+    const assay::OpSchedule& b = base.opSchedule(w.op);
+    wait_total += std::max(0.0, w.start - b.start);
+    ++count;
+  }
+  m.avg_wait = count > 0 ? wait_total / count : 0.0;
+
+  // Buffer consumption and wash concurrency.
+  std::vector<std::pair<double, double>> busy;
+  for (const assay::OpSchedule& o : washed.opSchedules())
+    busy.emplace_back(o.start, o.end);
+  for (const assay::FluidTask& t : washed.tasks())
+    if (t.kind != assay::TaskKind::Wash && t.duration() > 1e-9)
+      busy.emplace_back(t.start, t.end);
+  double overlapped = 0.0;
+  for (const assay::FluidTask& t : washed.tasks()) {
+    if (t.kind != assay::TaskKind::Wash) continue;
+    m.buffer_cell_volumes += static_cast<double>(t.path.size());
+    overlapped += overlapSeconds(t.start, t.end, busy);
+  }
+  m.wash_concurrency =
+      m.total_wash_time > 1e-9 ? overlapped / m.total_wash_time : 0.0;
+  return m;
+}
+
+}  // namespace pdw::sim

@@ -1,0 +1,41 @@
+// Evaluation metrics of the paper's §IV:
+//   N_wash  - number of wash operations          (Table II)
+//   L_wash  - total wash-path length, mm          (Table II, eq. 25)
+//   T_assay - assay completion time, s            (Table II, eq. 22)
+//   T_delay - wash-induced delay vs the base schedule, s (Table II)
+//   avg waiting time of biochemical operations    (Fig. 4)
+//   total wash time                               (Fig. 5)
+#pragma once
+
+#include <string>
+
+#include "assay/schedule.h"
+
+namespace pdw::sim {
+
+struct WashMetrics {
+  int n_wash = 0;
+  double l_wash_mm = 0.0;
+  double t_assay = 0.0;
+  double t_delay = 0.0;
+  double avg_wait = 0.0;
+  double total_wash_time = 0.0;
+  /// Buffer fluid consumed: one channel-volume per wash-path cell
+  /// (reported in cell-volumes; multiply by channel cross-section times
+  /// pitch for physical volume).
+  double buffer_cell_volumes = 0.0;
+  /// Fraction of total wash time that runs concurrently with some other
+  /// fluidic task or operation (the paper's Fig. 3 point: PDW washes
+  /// overlap other work instead of serializing behind it).
+  double wash_concurrency = 0.0;
+
+  std::string describe() const;
+};
+
+/// Compute all metrics of a washed schedule against its wash-oblivious base
+/// schedule (same graph, same chip). The waiting time of an operation is how
+/// far wash handling pushed its start past the base schedule's start.
+WashMetrics computeMetrics(const assay::AssaySchedule& washed,
+                           const assay::AssaySchedule& base);
+
+}  // namespace pdw::sim

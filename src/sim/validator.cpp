@@ -1,0 +1,169 @@
+#include "sim/validator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace pdw::sim {
+
+namespace {
+
+using assay::AssaySchedule;
+using assay::FluidTask;
+using assay::OpSchedule;
+using assay::TaskKind;
+
+bool timeOverlap(double s1, double e1, double s2, double e2, double tol) {
+  return s1 < e2 - tol && s2 < e1 - tol;
+}
+
+}  // namespace
+
+std::string ValidationResult::summary() const {
+  if (ok()) return "ok";
+  return util::format("%d issue(s):\n  ", static_cast<int>(issues.size())) +
+         util::join(issues, "\n  ");
+}
+
+ValidationResult validateSchedule(const AssaySchedule& schedule,
+                                  const ValidatorOptions& options) {
+  ValidationResult result;
+  const auto issue = [&](std::string message) {
+    result.issues.push_back(std::move(message));
+  };
+  if (!schedule.valid()) {
+    issue("schedule has no graph/chip attached");
+    return result;
+  }
+  const auto& graph = schedule.graph();
+  const auto& chip = schedule.chip();
+  const double tol = options.time_tol;
+
+  // Every operation scheduled exactly once, long enough (eq. 1).
+  std::map<assay::OpId, const OpSchedule*> by_op;
+  for (const OpSchedule& s : schedule.opSchedules()) {
+    if (by_op.count(s.op))
+      issue(util::format("op %d scheduled more than once", s.op));
+    by_op[s.op] = &s;
+    if (s.end - s.start < graph.op(s.op).duration_s - tol)
+      issue(util::format("op %d shorter than its protocol duration", s.op));
+    if (s.device < 0 ||
+        s.device >= static_cast<int>(chip.devices().size())) {
+      issue(util::format("op %d bound to invalid device", s.op));
+      continue;
+    }
+    if (assay::requiredDevice(graph.op(s.op).kind) !=
+        chip.device(s.device).kind)
+      issue(util::format("op %d bound to wrong device kind", s.op));
+  }
+  for (const assay::Operation& op : graph.ops())
+    if (!by_op.count(op.id))
+      issue(util::format("op %d missing from schedule", op.id));
+  if (!result.ok()) return result;  // later checks need complete op data
+
+  // Dependency order (eq. 2).
+  for (const assay::Dependency& d : graph.dependencies())
+    if (by_op[d.to]->start < by_op[d.from]->end - tol)
+      issue(util::format("dependency %d->%d violated", d.from, d.to));
+
+  // Device exclusivity (eq. 3).
+  for (const OpSchedule& a : schedule.opSchedules())
+    for (const OpSchedule& b : schedule.opSchedules())
+      if (a.op < b.op && a.device == b.device &&
+          timeOverlap(a.start, a.end, b.start, b.end, tol))
+        issue(util::format("ops %d and %d overlap on device %d", a.op, b.op,
+                           a.device));
+
+  // Task well-formedness.
+  for (const FluidTask& t : schedule.tasks()) {
+    if (t.path.empty()) {
+      issue(util::format("task %d has an empty path", t.id));
+      continue;
+    }
+    if (!t.path.isConnected())
+      issue(util::format("task %d path is disconnected", t.id));
+    if (t.end < t.start - tol)
+      issue(util::format("task %d ends before it starts", t.id));
+    if (!chip.isPortCell(t.path.front()) || !chip.isPortCell(t.path.back()))
+      issue(util::format("task %d path does not run port-to-port", t.id));
+    const int n = static_cast<int>(t.path.size());
+    if (t.payload_begin < 0 || t.payload_begin >= n ||
+        (t.payload_end >= 0 &&
+         (t.payload_end < t.payload_begin || t.payload_end >= n)))
+      issue(util::format("task %d has an invalid payload span", t.id));
+  }
+
+  // Transport/removal windows (eqs. 4/5): for each dependency edge the
+  // transport lies in [o_j.end, o_i.start]; its removal (if any) lies in
+  // [transport.end, o_i.start].
+  for (const assay::Dependency& d : graph.dependencies()) {
+    const FluidTask* transport = nullptr;
+    for (const FluidTask& t : schedule.tasks())
+      if (t.kind == TaskKind::Transport && t.producer == d.from &&
+          t.consumer == d.to)
+        transport = &t;
+    if (!transport) {
+      issue(util::format("edge %d->%d has no transport task", d.from, d.to));
+      continue;
+    }
+    if (transport->start < by_op[d.from]->end - tol)
+      issue(util::format("transport %d->%d starts before producer ends",
+                         d.from, d.to));
+    if (transport->end > by_op[d.to]->start + tol)
+      issue(util::format("transport %d->%d ends after consumer starts",
+                         d.from, d.to));
+    for (const FluidTask& t : schedule.tasks()) {
+      if (t.kind != TaskKind::ExcessRemoval || t.producer != d.from ||
+          t.consumer != d.to)
+        continue;
+      const bool integrated =
+          options.allow_integrated_removals && t.duration() <= tol;
+      if (integrated) continue;
+      const FluidTask& own_transport =
+          t.matching_transport >= 0 ? schedule.task(t.matching_transport)
+                                    : *transport;
+      if (t.start < own_transport.end - tol)
+        issue(util::format("removal for %d->%d starts before its transport",
+                           d.from, d.to));
+      if (t.end > by_op[d.to]->start + tol)
+        issue(util::format("removal for %d->%d ends after consumer starts",
+                           d.from, d.to));
+    }
+  }
+
+  // Injection removals (producer == -1) also follow their transport.
+  for (const FluidTask& t : schedule.tasks()) {
+    if (t.kind != TaskKind::ExcessRemoval || t.matching_transport < 0)
+      continue;
+    if (options.allow_integrated_removals && t.duration() <= tol) continue;
+    if (t.start < schedule.task(t.matching_transport).end - tol)
+      issue(util::format("removal %d starts before its transport %d", t.id,
+                         t.matching_transport));
+  }
+
+  // Spatial conflicts between tasks (eqs. 8/19/20). Integrated (zero-length)
+  // removals occupy no channel time.
+  const auto active = [&](const FluidTask& t) { return t.duration() > tol; };
+  for (const FluidTask& a : schedule.tasks())
+    for (const FluidTask& b : schedule.tasks())
+      if (a.id < b.id && active(a) && active(b) &&
+          timeOverlap(a.start, a.end, b.start, b.end, tol) &&
+          a.path.overlaps(b.path))
+        issue(util::format("tasks %d and %d conflict in space and time", a.id,
+                           b.id));
+
+  // Tasks crossing a running operation's device cell.
+  for (const FluidTask& t : schedule.tasks()) {
+    if (!active(t)) continue;
+    for (const OpSchedule& o : schedule.opSchedules())
+      if (timeOverlap(t.start, t.end, o.start, o.end, tol) &&
+          t.path.contains(chip.device(o.device).cell))
+        issue(util::format("task %d crosses device of running op %d", t.id,
+                           o.op));
+  }
+
+  return result;
+}
+
+}  // namespace pdw::sim

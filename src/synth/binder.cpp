@@ -1,0 +1,29 @@
+#include "synth/binder.h"
+
+#include <cassert>
+#include <map>
+
+namespace pdw::synth {
+
+std::vector<arch::DeviceId> bindOperations(const assay::SequencingGraph& graph,
+                                           const arch::ChipLayout& chip) {
+  std::vector<arch::DeviceId> binding(
+      static_cast<std::size_t>(graph.numOps()), -1);
+  std::map<arch::DeviceId, int> load;
+
+  // Topological order so parents bind before children; a child prefers a
+  // lightly-loaded device, tie-broken toward lower id (deterministic).
+  for (assay::OpId op : graph.topologicalOrder()) {
+    const arch::DeviceKind kind = requiredDevice(graph.op(op).kind);
+    const std::vector<arch::DeviceId> candidates = chip.devicesOfKind(kind);
+    assert(!candidates.empty() && "chip lacks a device kind the assay needs");
+    arch::DeviceId best = candidates.front();
+    for (arch::DeviceId d : candidates)
+      if (load[d] < load[best]) best = d;
+    binding[static_cast<std::size_t>(op)] = best;
+    ++load[best];
+  }
+  return binding;
+}
+
+}  // namespace pdw::synth

@@ -1,0 +1,20 @@
+// Operation-to-device binding.
+#pragma once
+
+#include <vector>
+
+#include "arch/chip.h"
+#include "assay/sequencing_graph.h"
+
+namespace pdw::synth {
+
+/// Bind every operation to a device of its required kind, balancing load
+/// (round-robin by bound-op count, ties to the lower device id). Returns the
+/// device id per operation, indexed by OpId.
+///
+/// Precondition: the chip has at least one device of every kind the graph
+/// uses (checked with assertions).
+std::vector<arch::DeviceId> bindOperations(const assay::SequencingGraph& graph,
+                                           const arch::ChipLayout& chip);
+
+}  // namespace pdw::synth

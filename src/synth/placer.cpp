@@ -1,0 +1,93 @@
+#include "synth/placer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace pdw::synth {
+
+namespace {
+
+/// Evenly spread `count` positions over [1, extent-2] (keeping corners free).
+std::vector<int> spreadPositions(int count, int extent) {
+  std::vector<int> out;
+  if (count <= 0) return out;
+  const int span = extent - 2;
+  for (int i = 0; i < count; ++i) {
+    const int pos = 1 + (span * (2 * i + 1)) / (2 * count);
+    out.push_back(std::min(pos, extent - 2));
+  }
+  // De-duplicate on tiny grids by nudging forward.
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i] <= out[i - 1]) out[i] = std::min(out[i - 1] + 1, extent - 2);
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<arch::ChipLayout> placeChip(const arch::DeviceLibrary& library,
+                                            const PlacerOptions& options) {
+  const int n = arch::totalDevices(library);
+  assert(n > 0);
+
+  // Interior lattice with stride 3 starting at (2,2): channels can pass on
+  // every side of every device.
+  const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(n))));
+  const int rows = (n + cols - 1) / cols;
+  const int width = 3 * cols + 1;
+  const int height = 3 * rows + 1;
+
+  auto chip =
+      std::make_unique<arch::ChipLayout>(width, height, options.pitch_mm);
+
+  // Devices, kind by kind so names number naturally (mixer0, mixer1, ...).
+  int placed = 0;
+  for (const arch::DeviceSpec& spec : library) {
+    for (int i = 0; i < spec.count; ++i) {
+      const int c = placed % cols;
+      const int r = placed / cols;
+      const arch::Cell cell{3 * c + 2, 3 * r + 2};
+      chip->addDevice(spec.kind, cell,
+                      util::format("%s%d", arch::toString(spec.kind), i + 1));
+      ++placed;
+    }
+  }
+
+  // Port-rich boundaries, as the paper's reference chips (Fig. 2(a) has
+  // four flow and four waste ports for five devices): shared port
+  // corridors are the main source of avoidable cross-contamination.
+  const int flow_ports =
+      options.flow_ports > 0 ? options.flow_ports
+                             : std::clamp(3 + n / 2, 4, 8);
+  const int waste_ports =
+      options.waste_ports > 0 ? options.waste_ports
+                              : std::clamp(3 + n / 2, 4, 8);
+
+  // Flow ports: left edge, then top edge.
+  int flow_index = 0;
+  {
+    const int left = (flow_ports + 1) / 2;
+    const int top = flow_ports - left;
+    for (int y : spreadPositions(left, height))
+      chip->addFlowPort({0, y}, util::format("in%d", ++flow_index));
+    for (int x : spreadPositions(top, width))
+      chip->addFlowPort({x, 0}, util::format("in%d", ++flow_index));
+  }
+  // Waste ports: right edge, then bottom edge.
+  int waste_index = 0;
+  {
+    const int right = (waste_ports + 1) / 2;
+    const int bottom = waste_ports - right;
+    for (int y : spreadPositions(right, height))
+      chip->addWastePort({width - 1, y}, util::format("out%d", ++waste_index));
+    for (int x : spreadPositions(bottom, width))
+      chip->addWastePort({x, height - 1},
+                         util::format("out%d", ++waste_index));
+  }
+
+  return chip;
+}
+
+}  // namespace pdw::synth

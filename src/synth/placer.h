@@ -1,0 +1,27 @@
+// Device and port placement.
+//
+// Builds a chip layout for a device library in the style of the paper's
+// reference flow ([12], PathDriver+): devices on a spaced interior lattice
+// (so channels can route between them), flow ports on the left/top boundary
+// and waste ports on the right/bottom boundary.
+#pragma once
+
+#include <memory>
+
+#include "arch/chip.h"
+#include "assay/sequencing_graph.h"
+
+namespace pdw::synth {
+
+struct PlacerOptions {
+  double pitch_mm = 3.0;
+  /// 0 = derive from device count.
+  int flow_ports = 0;
+  int waste_ports = 0;
+};
+
+/// Place all devices of `library` plus ports on a fresh grid sized to fit.
+std::unique_ptr<arch::ChipLayout> placeChip(const arch::DeviceLibrary& library,
+                                            const PlacerOptions& options = {});
+
+}  // namespace pdw::synth

@@ -1,0 +1,395 @@
+#include "synth/synthesizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "arch/router.h"
+#include "synth/binder.h"
+#include "util/logging.h"
+
+namespace pdw::synth {
+
+namespace {
+
+using arch::Cell;
+using arch::ChipLayout;
+using arch::DeviceId;
+using arch::FlowPath;
+using arch::PortId;
+using arch::Router;
+using assay::AssaySchedule;
+using assay::FluidTask;
+using assay::OpId;
+using assay::SequencingGraph;
+using assay::TaskKind;
+
+class Scheduler {
+ public:
+  Scheduler(const SequencingGraph& graph, const ChipLayout& chip,
+            const SynthOptions& options)
+      : graph_(graph),
+        chip_(chip),
+        options_(options),
+        router_(chip),
+        schedule_(&graph, &chip),
+        binding_(bindOperations(graph, chip)) {
+    all_devices_ = chip_.makeCellSet();
+    for (const arch::Device& d : chip_.devices()) all_devices_.insert(d.cell);
+  }
+
+  SynthResult run(std::unique_ptr<ChipLayout> owned_chip) {
+    std::map<DeviceId, double> device_free;   // last op end per device
+    std::map<DeviceId, double> device_clear;  // content departed per device
+    std::map<OpId, int> pending_children;
+    std::map<OpId, double> last_outgoing;     // latest outgoing transport end
+    for (const assay::Operation& op : graph_.ops())
+      pending_children[op.id] =
+          static_cast<int>(graph_.children(op.id).size());
+
+    for (OpId op_id : graph_.topologicalOrder()) {
+      const assay::Operation& op = graph_.op(op_id);
+      const DeviceId device = binding_[static_cast<std::size_t>(op_id)];
+
+      double ready = std::max(device_free[device], device_clear[device]);
+
+      // Reagent injections into the device.
+      for (assay::FluidId reagent : op.reagent_inputs)
+        ready = std::max(ready, scheduleInjection(reagent, op_id, device,
+                                                  ready));
+
+      // Parent-result transports p_{j,i,1} (+ excess removals p_{j,i,2}).
+      std::vector<OpId> parents = graph_.parents(op_id);
+      std::sort(parents.begin(), parents.end());
+      for (OpId parent : parents) {
+        const DeviceId src = binding_[static_cast<std::size_t>(parent)];
+        const double lb = std::max(ready, schedule_.opSchedule(parent).end);
+        const double end = scheduleTransport(parent, op_id, src, device, lb);
+        ready = std::max(ready, end);
+        device_clear[src] = std::max(device_clear[src], end);
+        last_outgoing[parent] = std::max(last_outgoing[parent], end);
+        if (--pending_children[parent] == 0 &&
+            graph_.op(parent).produces_waste) {
+          scheduleWasteRemoval(parent, src, last_outgoing[parent]);
+        }
+      }
+
+      // The biochemical operation itself (paper eqs. 1/3/4/5: starts after
+      // all transports and removals, exclusive on its device).
+      const double start = std::max(ready, device_free[device]);
+      schedule_.addOpSchedule({op_id, device, start, start + op.duration_s});
+      device_free[device] = start + op.duration_s;
+    }
+
+    // Sink results leave the chip; device waste is flushed afterwards.
+    for (OpId op_id : graph_.sinkOps()) {
+      const DeviceId device = binding_[static_cast<std::size_t>(op_id)];
+      const double op_end = schedule_.opSchedule(op_id).end;
+      const double end = scheduleOutput(op_id, device, op_end);
+      if (graph_.op(op_id).produces_waste)
+        scheduleWasteRemoval(op_id, device, end);
+    }
+
+    SynthResult result;
+    result.chip = std::move(owned_chip);
+    result.schedule = std::move(schedule_);
+    result.binding = std::move(binding_);
+    return result;
+  }
+
+ private:
+  // ---- routing helpers ---------------------------------------------------
+
+  /// Blockage set: every device cell except the listed exemptions.
+  arch::CellSet blockedExcept(std::initializer_list<Cell> exempt) const {
+    arch::CellSet blocked = all_devices_;
+    for (Cell c : exempt) blocked.erase(c);
+    return blocked;
+  }
+
+  /// Nearest reachable flow/waste port cell to `target` by routed distance.
+  Cell nearestPort(Cell target, bool waste,
+                   const arch::CellSet& blocked) const {
+    const std::vector<PortId> ports =
+        waste ? chip_.wastePorts() : chip_.flowPorts();
+    assert(!ports.empty());
+    Cell best{};
+    int best_distance = -1;
+    for (PortId p : ports) {
+      const Cell cell = chip_.port(p).cell;
+      const auto d = router_.distance(cell, target, &blocked);
+      if (!d) continue;
+      if (best_distance < 0 || *d < best_distance) {
+        best_distance = *d;
+        best = cell;
+      }
+    }
+    assert(best_distance >= 0 && "no port reachable from target");
+    return best;
+  }
+
+  /// A routed port-to-port path with the payload span [index_a, index_b].
+  struct RoutedPath {
+    FlowPath path;
+    int index_a = 0;
+    int index_b = 0;
+  };
+
+  /// Build: flow port -> a [-> b] -> nearest waste port. Each later
+  /// segment avoids the cells of earlier ones when a detour exists (a
+  /// physical flow path should be simple); if the only route back to a
+  /// waste port reuses cells, the reuse is accepted. `fixed_entry` pins the
+  /// flow port (dedicated reagent inlets); otherwise the nearest one is
+  /// used.
+  RoutedPath routeFull(Cell a, std::optional<Cell> b,
+                       const arch::CellSet& blocked,
+                       std::optional<Cell> fixed_entry = std::nullopt) const {
+    RoutedPath out;
+    std::vector<Cell> cells;
+    arch::CellSet used = blocked;
+
+    const Cell entry =
+        fixed_entry ? *fixed_entry : nearestPort(a, /*waste=*/false, blocked);
+    const auto prefix = router_.route(entry, a, &blocked);
+    assert(prefix && "flow port unreachable");
+    cells = prefix->cells();
+    out.index_a = static_cast<int>(cells.size()) - 1;
+    for (const Cell& c : cells)
+      if (c != a) used.insert(c);
+
+    Cell tail_from = a;
+    if (b && *b != a) {
+      auto mid = router_.route(a, *b, &used);
+      if (!mid) mid = router_.route(a, *b, &blocked);
+      assert(mid && "device-to-device route failed");
+      cells.insert(cells.end(), mid->cells().begin() + 1, mid->cells().end());
+      for (const Cell& c : mid->cells())
+        if (c != *b) used.insert(c);
+      tail_from = *b;
+    }
+    out.index_b = static_cast<int>(cells.size()) - 1;
+
+    Cell exit{};
+    std::optional<FlowPath> suffix;
+    // Prefer a waste port reachable without touching the path so far.
+    const arch::CellSet* avoid_sets[2] = {&used, &blocked};
+    for (const arch::CellSet* avoid : avoid_sets) {
+      const std::vector<PortId> ports = chip_.wastePorts();
+      int best_distance = -1;
+      for (PortId p : ports) {
+        const Cell cell = chip_.port(p).cell;
+        const auto d = router_.distance(tail_from, cell, avoid);
+        if (!d) continue;
+        if (best_distance < 0 || *d < best_distance) {
+          best_distance = *d;
+          exit = cell;
+        }
+      }
+      if (best_distance >= 0) {
+        suffix = router_.route(tail_from, exit, avoid);
+        break;
+      }
+    }
+    assert(suffix && "waste port unreachable");
+    cells.insert(cells.end(), suffix->cells().begin() + 1,
+                 suffix->cells().end());
+
+    out.path = FlowPath(std::move(cells));
+    return out;
+  }
+
+  double taskDuration(const FlowPath& path) const {
+    const double travel =
+        path.lengthMm(chip_.pitchMm()) / options_.flow_velocity_mm_s;
+    return std::max(options_.min_task_duration_s, std::ceil(travel));
+  }
+
+  // ---- conflict-aware slot search -----------------------------------------
+
+  /// Earliest start >= lower_bound at which `path` conflicts with no
+  /// scheduled task (shared cell + overlapping time) and no scheduled
+  /// operation whose device cell lies on `path` (paper eq. 8).
+  double earliestSlot(const FlowPath& path, double lower_bound,
+                      double duration) const {
+    double start = lower_bound;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      const double end = start + duration;
+      for (const FluidTask& t : schedule_.tasks()) {
+        if (t.end <= start || t.start >= end) continue;
+        if (t.path.overlaps(path)) {
+          start = t.end;
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      for (const assay::OpSchedule& o : schedule_.opSchedules()) {
+        if (o.end <= start || o.start >= end) continue;
+        if (path.contains(chip_.device(o.device).cell)) {
+          start = o.end;
+          moved = true;
+          break;
+        }
+      }
+    }
+    return start;
+  }
+
+  /// Create, time and record one task. Returns its end time; the created
+  /// id is available as lastTaskId() immediately afterwards.
+  double addTask(TaskKind kind, OpId producer, OpId consumer,
+                 assay::FluidId fluid, RoutedPath routed, double lower_bound,
+                 assay::TaskId matching_transport = -1) {
+    FluidTask task;
+    task.kind = kind;
+    task.producer = producer;
+    task.consumer = consumer;
+    task.fluid = fluid;
+    task.matching_transport = matching_transport;
+    task.path = std::move(routed.path);
+    task.payload_begin = routed.index_a;
+    task.payload_end = routed.index_b;
+    const double duration = taskDuration(task.path);
+    task.start = earliestSlot(task.path, lower_bound, duration);
+    task.end = task.start + duration;
+    last_task_id_ = schedule_.addTask(task);
+    return task.end;
+  }
+
+  assay::TaskId lastTaskId() const { return last_task_id_; }
+
+  // ---- task constructors ---------------------------------------------------
+
+  /// Reagent injection: payload flows from the flow port into the device.
+  /// Followed by an excess-fluid removal (fluid caches at the device end).
+  double scheduleInjection(assay::FluidId reagent, OpId consumer,
+                           DeviceId device, double lower_bound) {
+    const Cell device_cell = chip_.device(device).cell;
+    const arch::CellSet blocked = blockedExcept({device_cell});
+    // Dedicated reagent inlet: each reagent keeps its own flow port (the
+    // paper's chips do the same — r1 at in1, r2 at in2 in Fig. 2), so
+    // repeated injections of one reagent reuse a corridor Type-2-safely.
+    const std::vector<PortId> flow_ports = chip_.flowPorts();
+    const Cell inlet =
+        chip_.port(flow_ports[static_cast<std::size_t>(reagent) %
+                              flow_ports.size()])
+            .cell;
+    RoutedPath routed =
+        routeFull(device_cell, std::nullopt, blocked, inlet);
+    routed.index_a = 0;  // payload starts at the flow port
+    routed.index_b = static_cast<int>(routed.path.size()) - 1;
+    // Find where the device sits on the path: payload ends there.
+    const auto& cells = routed.path.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i] == device_cell)
+        routed.index_b = static_cast<int>(i);
+    const Cell excess_cell = excessCellBefore(routed, device_cell);
+    double end = addTask(TaskKind::Transport, -1, consumer, reagent, routed,
+                         lower_bound);
+    end = std::max(end, scheduleExcessRemoval(-1, consumer, reagent,
+                                              excess_cell, end,
+                                              lastTaskId()));
+    return end;
+  }
+
+  /// Inter-device transport p_{j,i,1} followed by excess removal p_{j,i,2}.
+  double scheduleTransport(OpId producer, OpId consumer, DeviceId src,
+                           DeviceId dst, double lower_bound) {
+    const Cell src_cell = chip_.device(src).cell;
+    const Cell dst_cell = chip_.device(dst).cell;
+    const arch::CellSet blocked = blockedExcept({src_cell, dst_cell});
+    RoutedPath routed = routeFull(src_cell, dst_cell, blocked);
+    const Cell excess_cell = excessCellBefore(routed, dst_cell);
+    const assay::FluidId fluid = graph_.op(producer).result;
+    double end = addTask(TaskKind::Transport, producer, consumer, fluid,
+                         routed, lower_bound);
+    end = std::max(end, scheduleExcessRemoval(producer, consumer, fluid,
+                                              excess_cell, end,
+                                              lastTaskId()));
+    return end;
+  }
+
+  /// The channel cell immediately before `device_cell` on the payload —
+  /// where excess fluid caches after the transport (paper §II-B).
+  Cell excessCellBefore(const RoutedPath& routed, Cell device_cell) const {
+    const auto& cells = routed.path.cells();
+    for (std::size_t i = 1; i < cells.size(); ++i)
+      if (cells[i] == device_cell) return cells[i - 1];
+    return Cell{};  // device adjacent to port: no cached excess
+  }
+
+  /// Excess-fluid removal p_{j,i,2}: flush the cached-excess cell to waste.
+  /// Returns the removal's end time (or lower_bound if nothing to flush).
+  /// `producer`/`consumer` identify the transport edge it belongs to.
+  double scheduleExcessRemoval(OpId producer, OpId consumer,
+                               assay::FluidId fluid, Cell excess_cell,
+                               double lower_bound,
+                               assay::TaskId transport_id) {
+    if (!chip_.contains(excess_cell) || chip_.isPortCell(excess_cell) ||
+        chip_.isDeviceCell(excess_cell))
+      return lower_bound;
+    const arch::CellSet blocked = blockedExcept({});
+    RoutedPath routed = routeFull(excess_cell, std::nullopt, blocked);
+    // The excess plug travels from its cached cell all the way to waste.
+    routed.index_b = static_cast<int>(routed.path.size()) - 1;
+    return addTask(TaskKind::ExcessRemoval, producer, consumer, fluid, routed,
+                   lower_bound, transport_id);
+  }
+
+  /// Waste-fluid removal ($): flush the device itself to a waste port.
+  void scheduleWasteRemoval(OpId op, DeviceId device, double lower_bound) {
+    const Cell device_cell = chip_.device(device).cell;
+    const arch::CellSet blocked = blockedExcept({device_cell});
+    RoutedPath routed = routeFull(device_cell, std::nullopt, blocked);
+    routed.index_b = static_cast<int>(routed.path.size()) - 1;
+    addTask(TaskKind::WasteRemoval, op, -1, graph_.fluids().waste(), routed,
+            lower_bound);
+  }
+
+  /// Final output transport: payload from the device to the waste port.
+  double scheduleOutput(OpId op, DeviceId device, double lower_bound) {
+    const Cell device_cell = chip_.device(device).cell;
+    const arch::CellSet blocked = blockedExcept({device_cell});
+    RoutedPath routed = routeFull(device_cell, std::nullopt, blocked);
+    routed.index_b = static_cast<int>(routed.path.size()) - 1;
+    return addTask(TaskKind::Transport, op, -1, graph_.op(op).result, routed,
+                   lower_bound);
+  }
+
+  const SequencingGraph& graph_;
+  const ChipLayout& chip_;
+  const SynthOptions& options_;
+  Router router_;
+  AssaySchedule schedule_;
+  std::vector<DeviceId> binding_;
+  arch::CellSet all_devices_;
+  assay::TaskId last_task_id_ = -1;
+};
+
+}  // namespace
+
+SynthResult synthesize(const assay::SequencingGraph& graph,
+                       const SynthOptions& options) {
+  // Derive a minimal device library: one device per kind used.
+  arch::DeviceLibrary library;
+  std::map<arch::DeviceKind, int> counts;
+  for (const assay::Operation& op : graph.ops())
+    counts[requiredDevice(op.kind)] =
+        std::max(counts[requiredDevice(op.kind)], 1);
+  for (const auto& [kind, count] : counts) library.push_back({kind, count});
+  auto chip = placeChip(library, options.placer);
+  return synthesizeOnChip(graph, std::move(chip), options);
+}
+
+SynthResult synthesizeOnChip(const assay::SequencingGraph& graph,
+                             std::unique_ptr<arch::ChipLayout> chip,
+                             const SynthOptions& options) {
+  assert(graph.isAcyclic());
+  Scheduler scheduler(graph, *chip, options);
+  return scheduler.run(std::move(chip));
+}
+
+}  // namespace pdw::synth

@@ -1,0 +1,48 @@
+// PathDriver-style architectural synthesis facade (DESIGN.md §2): builds the
+// chip layout and the wash-oblivious base schedule that PDW / DAWO consume.
+//
+// The flow mirrors the reference tool chain of the paper ([7]/[12]):
+//   placement -> binding -> resource-constrained list scheduling with
+//   port-to-port flow-path generation for every fluidic task.
+// Every transport path is a complete [flow port -> src device -> dst device
+// -> waste port] path with a payload span (see FluidTask::payload_begin);
+// each transport into a device is followed by an excess-fluid removal task
+// (paper §II-B), and waste-producing operations get a waste-removal task.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/chip.h"
+#include "assay/schedule.h"
+#include "assay/sequencing_graph.h"
+#include "synth/placer.h"
+
+namespace pdw::synth {
+
+struct SynthOptions {
+  PlacerOptions placer;
+  /// Flow velocity v_f in mm/s (paper §IV: 10 mm/s).
+  double flow_velocity_mm_s = 10.0;
+  /// Tasks take at least this long (valve switching etc.).
+  double min_task_duration_s = 1.0;
+};
+
+struct SynthResult {
+  std::unique_ptr<arch::ChipLayout> chip;
+  assay::AssaySchedule schedule;               ///< points into *chip
+  std::vector<arch::DeviceId> binding;         ///< device per OpId
+};
+
+/// Synthesize layout + base schedule for `graph`. The graph must outlive the
+/// result (the schedule holds a pointer to it).
+SynthResult synthesize(const assay::SequencingGraph& graph,
+                       const SynthOptions& options = {});
+
+/// Schedule `graph` onto an existing chip layout (used by the motivating
+/// example, which hand-builds the Fig. 2(a) chip).
+SynthResult synthesizeOnChip(const assay::SequencingGraph& graph,
+                             std::unique_ptr<arch::ChipLayout> chip,
+                             const SynthOptions& options = {});
+
+}  // namespace pdw::synth

@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pdw::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parseLogLevel(std::string_view name) {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view tag, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %s\n", levelName(level),
+               static_cast<int>(tag.size()), tag.data(), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace pdw::util

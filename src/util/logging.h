@@ -1,0 +1,64 @@
+// Minimal leveled logging facility.
+//
+// The library is a batch optimization tool; logging is used for solver
+// progress and diagnostic traces, never for results (results flow through
+// return values). The default level is Warn so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pdw::util {
+
+enum class LogLevel {
+  Trace = 0,
+  Debug = 1,
+  Info = 2,
+  Warn = 3,
+  Error = 4,
+  Off = 5,
+};
+
+/// Global log level. Messages below this level are discarded.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off").
+/// Unknown names return Warn.
+LogLevel parseLogLevel(std::string_view name);
+
+namespace detail {
+void emit(LogLevel level, std::string_view tag, const std::string& message);
+}
+
+/// Stream-style log statement builder:
+///   PDW_LOG(Info, "ilp") << "nodes explored: " << n;
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view tag)
+      : level_(level), tag_(tag), enabled_(level >= logLevel()) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  ~LogStatement() {
+    if (enabled_) detail::emit(level_, tag_, stream_.str());
+  }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace pdw::util
+
+#define PDW_LOG(level, tag) \
+  ::pdw::util::LogStatement(::pdw::util::LogLevel::level, (tag))

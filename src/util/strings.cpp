@@ -1,0 +1,70 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pdw::util {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(begin));
+      return out;
+    }
+    out.emplace_back(text.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  const auto isSpace = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!text.empty() && isSpace(text.front())) text.remove_prefix(1);
+  while (!text.empty() && isSpace(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string fixed(double value, int decimals) {
+  return format("%.*f", decimals, value);
+}
+
+std::string improvementPercent(double base, double value) {
+  if (base == 0.0) return "0.00";
+  return fixed((base - value) / base * 100.0, 2);
+}
+
+}  // namespace pdw::util

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdw::util {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Format a double with `decimals` fraction digits ("12.34").
+std::string fixed(double value, int decimals);
+
+/// Format a percentage improvement "(base - value) / base * 100" with two
+/// decimals, as the paper's I_m columns do. Returns "0.00" when base == 0.
+std::string improvementPercent(double base, double value);
+
+}  // namespace pdw::util

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace pdw::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::addSeparator() { pending_separator_ = true; }
+
+void Table::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const Row& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  const auto renderLine = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c]
+          << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  const auto renderRule = [&] {
+    out << "+";
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  renderRule();
+  renderLine(header_);
+  renderRule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) renderRule();
+    renderLine(row.cells);
+  }
+  renderRule();
+}
+
+void Table::renderCsv(std::ostream& out) const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  const auto renderLine = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << escape(cells[c]);
+    }
+    out << '\n';
+  };
+  renderLine(header_);
+  for (const Row& row : rows_) renderLine(row.cells);
+}
+
+std::string Table::toString() const {
+  std::ostringstream out;
+  render(out);
+  return out.str();
+}
+
+}  // namespace pdw::util

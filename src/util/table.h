@@ -1,0 +1,50 @@
+// ASCII table rendering for benchmark harness output.
+//
+// The benches print paper-style comparison tables (Table II, Fig. 4/5 series)
+// to stdout; this writer keeps columns aligned and also exports CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pdw::util {
+
+/// Column-aligned text table with an optional title, rendered with a
+/// box-drawing-free ASCII style that is diffable in golden tests.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; pads/truncates to the header width.
+  void addRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator before the next row.
+  void addSeparator();
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Render aligned ASCII to `out`.
+  void render(std::ostream& out) const;
+
+  /// Render as CSV (title omitted, separators omitted).
+  void renderCsv(std::ostream& out) const;
+
+  std::string toString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace pdw::util

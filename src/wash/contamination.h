@@ -1,0 +1,74 @@
+// Contamination tracking: replay a schedule and derive, per grid cell, the
+// chronological sequence of fluid "uses" with their contamination semantics.
+//
+// Per-kind semantics (derived from the paper's §II examples; see the
+// payload-span comment on assay::FluidTask):
+//   * Transport: payload cells after the first are CRITICAL (the plug must
+//     not pick up residue) and DEPOSIT the plug's fluid. The first payload
+//     cell is the source device/port whose content *is* the plug.
+//   * Excess/waste removal: payload cells are NON-critical (the flushed
+//     fluid is headed for waste — paper Type 3, Q_p = 1) but DEPOSIT the
+//     flushed fluid's residue.
+//   * Wash: all path cells NON-critical; deposits neutral buffer, i.e.
+//     cleans (eq. 17's dissolution makes the channel residue-free).
+//   * Operation: its device cell deposits the operation's result at the
+//     operation's end ("after operation o_3 is finished, detector_1 is
+//     contaminated").
+// Port cells are never tracked (they are off-chip interfaces, not washable
+// channel cells).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "assay/schedule.h"
+
+namespace pdw::wash {
+
+/// One chronological use of a cell.
+struct CellUse {
+  double start = 0.0;
+  double end = 0.0;
+  assay::FluidId fluid = -1;
+  /// The plug must find the cell clean (else the assay is corrupted).
+  bool critical = false;
+  /// The use leaves this fluid's residue behind.
+  bool deposits = false;
+  /// Task that performs the use, or -1 when it is an operation.
+  assay::TaskId task = -1;
+  /// Operation owning the use: the consumer op for transports, the
+  /// executing op for device deposits; -1 otherwise.
+  assay::OpId op = -1;
+};
+
+/// True if executing `a` and `b` in either order is contamination-safe:
+/// neither deposits residue on a cell the other traverses critically with a
+/// contaminable fluid. Pairs failing this must keep their base-schedule
+/// order (the necessity analysis is only valid for that order) — used by
+/// both the scheduling ILP and the greedy rescheduler.
+bool reorderSafe(const assay::FluidRegistry& fluids,
+                 const assay::FluidTask& a, const assay::FluidTask& b);
+
+class ContaminationTracker {
+ public:
+  explicit ContaminationTracker(const assay::AssaySchedule& schedule);
+
+  /// Uses of one cell, ordered by (start, task creation order).
+  const std::vector<CellUse>& usesOf(arch::Cell cell) const;
+
+  /// All cells with at least one use, row-major order.
+  std::vector<arch::Cell> usedCells() const;
+
+  const assay::AssaySchedule& schedule() const { return *schedule_; }
+
+ private:
+  void recordTask(const assay::FluidTask& task);
+  void recordOp(const assay::OpSchedule& op);
+  void add(arch::Cell cell, CellUse use);
+
+  const assay::AssaySchedule* schedule_;
+  std::map<arch::Cell, std::vector<CellUse>> uses_;
+  std::vector<CellUse> empty_;
+};
+
+}  // namespace pdw::wash

@@ -1,0 +1,122 @@
+#include "wash/necessity.h"
+
+#include <optional>
+
+#include "util/strings.h"
+
+namespace pdw::wash {
+
+namespace {
+
+struct Residue {
+  assay::FluidId fluid = -1;
+  double since = 0.0;
+  assay::TaskId task = -1;
+  assay::OpId op = -1;
+};
+
+/// True if `fluid` is an input of operation `op` (a parent's result or an
+/// injected reagent) — the device-cell generalization of Type 2: "if the
+/// residue left in a device has the same type as the subsequent input
+/// fluid, wash ... can be avoided".
+bool isInputOf(const assay::SequencingGraph& graph, assay::FluidId fluid,
+               assay::OpId op) {
+  if (op < 0) return false;
+  for (assay::FluidId r : graph.op(op).reagent_inputs)
+    if (r == fluid) return true;
+  for (assay::OpId parent : graph.parents(op))
+    if (graph.op(parent).result == fluid) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string NecessityStats::describe() const {
+  return util::format(
+      "states=%d type1=%d type2=%d type3=%d targets=%d",
+      contaminated_cell_states, skipped_type1, skipped_type2, skipped_type3,
+      targets);
+}
+
+NecessityResult analyzeWashNecessity(const ContaminationTracker& tracker,
+                                     const NecessityOptions& options) {
+  NecessityResult result;
+  const assay::AssaySchedule& schedule = tracker.schedule();
+  const assay::FluidRegistry& fluids = schedule.graph().fluids();
+  const double horizon = schedule.completionTime();
+
+  const auto emitTarget = [&](arch::Cell cell, const Residue& residue,
+                              double deadline, assay::TaskId blocking) {
+    WashTarget target;
+    target.cell = cell;
+    target.residue = residue.fluid;
+    target.ready = residue.since;
+    target.deadline = deadline;
+    target.contaminating_task = residue.task;
+    target.contaminating_op = residue.op;
+    target.blocking_task = blocking;
+    result.targets.push_back(target);
+    ++result.stats.targets;
+  };
+
+  for (const arch::Cell& cell : tracker.usedCells()) {
+    std::optional<Residue> residue;
+    for (const CellUse& use : tracker.usesOf(cell)) {
+      if (residue) {
+        ++result.stats.contaminated_cell_states;
+        const bool dangerous = fluids.contaminates(residue->fluid, use.fluid);
+        const bool input_exempt =
+            dangerous && isInputOf(schedule.graph(), residue->fluid, use.op);
+        if (use.critical) {
+          if (!dangerous || input_exempt) {
+            if (options.enable_type2) {
+              ++result.stats.skipped_type2;
+            } else {
+              emitTarget(cell, *residue, use.start, use.task);
+              residue.reset();
+            }
+          } else {
+            emitTarget(cell, *residue, use.start, use.task);
+            residue.reset();  // assume the wash happened before `use`
+          }
+        } else if (use.task >= 0) {
+          // Waste-bound flush (excess/waste removal) or wash: Type 3.
+          const bool is_wash =
+              schedule.task(use.task).kind == assay::TaskKind::Wash;
+          if (!is_wash) {
+            if (options.enable_type3) {
+              ++result.stats.skipped_type3;
+            } else if (dangerous) {
+              emitTarget(cell, *residue, use.start, use.task);
+              residue.reset();
+            }
+          }
+        }
+      }
+      if (use.deposits) {
+        if (fluids.kind(use.fluid) == assay::FluidKind::Buffer) {
+          residue.reset();  // wash leaves the cell clean
+        } else {
+          // The deposit source is the task, or the operation for device
+          // deposits (use.op also names the consumer op on transport uses —
+          // that is not the contaminator).
+          residue = Residue{use.fluid, use.end, use.task,
+                            use.task >= 0 ? -1 : use.op};
+        }
+      }
+    }
+    if (residue) {
+      ++result.stats.contaminated_cell_states;
+      if (options.enable_type1) {
+        ++result.stats.skipped_type1;
+      } else {
+        // Ablation: even dead residue must be washed; the deadline is open
+        // (blocking_task = -1 makes the wash extend T_assay instead).
+        emitTarget(cell, *residue, horizon, -1);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pdw::wash

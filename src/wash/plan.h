@@ -1,0 +1,27 @@
+// Result type shared by PDW and the DAWO baseline: a washed, re-timed
+// schedule plus bookkeeping about how it was obtained.
+#pragma once
+
+#include <string>
+
+#include "assay/schedule.h"
+#include "wash/necessity.h"
+
+namespace pdw::wash {
+
+struct WashPlanResult {
+  /// The washed schedule (same graph/chip as the base schedule).
+  assay::AssaySchedule schedule;
+  /// Wash-necessity statistics of the analysis pass.
+  NecessityStats necessity;
+  /// Removal tasks merged into washes (paper §II-B, psi = 1 in eq. 7/21).
+  int integrated_removals = 0;
+  /// Wall-clock seconds spent in optimization.
+  double solve_seconds = 0.0;
+  /// True when the scheduler proved optimality (vs best-effort incumbent).
+  bool proven_optimal = false;
+  /// Human-readable method tag ("PDW", "DAWO", ablation variants).
+  std::string method;
+};
+
+}  // namespace pdw::wash

@@ -1,0 +1,271 @@
+#include "wash/rescheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace pdw::wash {
+
+namespace {
+
+using assay::AssaySchedule;
+using assay::FluidTask;
+using assay::OpId;
+using assay::TaskId;
+using assay::TaskKind;
+
+struct Item {
+  enum class Kind { Op, Task, Wash } kind;
+  int index;         // OpId / TaskId / wash index
+  double order_key;  // base start (washes: just before earliest blocker)
+};
+
+class Engine {
+ public:
+  Engine(const AssaySchedule& base, const std::vector<WashOperation>& washes,
+         const WashParams& params)
+      : base_(base), washes_(washes), params_(params) {}
+
+  AssaySchedule run() {
+    buildItems();
+    AssaySchedule out(&base_.graph(), &base_.chip());
+
+    // Pre-create all tasks/ops so ids are stable, then assign times in
+    // item order.
+    for (const assay::OpSchedule& s : base_.opSchedules())
+      out.addOpSchedule(s);
+    for (const FluidTask& t : base_.tasks()) out.addTask(t);
+    std::vector<TaskId> wash_task_ids;
+    for (std::size_t w = 0; w < washes_.size(); ++w) {
+      FluidTask task;
+      task.kind = TaskKind::Wash;
+      task.fluid = base_.graph().fluids().buffer();
+      task.path = washes_[w].path;
+      task.payload_begin = 0;
+      task.payload_end = -1;
+      wash_task_ids.push_back(out.addTask(task));
+    }
+
+    std::map<arch::DeviceId, double> device_free;
+    std::map<TaskId, double> wash_floor;  // blocking task -> min start
+
+    for (const Item& item : items_) {
+      switch (item.kind) {
+        case Item::Kind::Op: {
+          assay::OpSchedule& s = out.opSchedule(item.index);
+          double lb = device_free[s.device];
+          for (const FluidTask& t : out.tasks())
+            if (assigned_tasks_.count(t.id) && t.consumer == item.index &&
+                t.kind != TaskKind::Wash)
+              lb = std::max(lb, t.end);
+          const double dur = base_.graph().op(item.index).duration_s;
+          const arch::Cell cell =
+              base_.chip().device(s.device).cell;
+          const double start = opSlot(out, cell, lb, dur, item.index);
+          s.start = start;
+          s.end = start + dur;
+          device_free[s.device] = s.end;
+          assigned_ops_.insert(item.index);
+          break;
+        }
+        case Item::Kind::Task: {
+          FluidTask& t = out.task(item.index);
+          double lb = taskLowerBound(out, t);
+          const auto floor_it = wash_floor.find(t.id);
+          if (floor_it != wash_floor.end())
+            lb = std::max(lb, floor_it->second);
+          const double dur = base_.task(t.id).duration();
+          const double start = taskSlot(out, t.path, lb, dur, &t);
+          t.start = start;
+          t.end = start + dur;
+          assigned_tasks_.insert(t.id);
+          break;
+        }
+        case Item::Kind::Wash: {
+          const WashOperation& w =
+              washes_[static_cast<std::size_t>(item.index)];
+          FluidTask& t = out.task(
+              wash_task_ids[static_cast<std::size_t>(item.index)]);
+          double lb = w.ready;  // base-schedule floor if a source lags
+          for (const WashTarget& target : w.targets) {
+            if (target.contaminating_task >= 0 &&
+                assigned_tasks_.count(target.contaminating_task))
+              lb = std::max(lb, out.task(target.contaminating_task).end);
+            if (target.contaminating_op >= 0 &&
+                assigned_ops_.count(target.contaminating_op))
+              lb = std::max(lb, out.opSchedule(target.contaminating_op).end);
+          }
+          const double dur = w.duration(params_, base_.chip().pitchMm());
+          const double start = taskSlot(out, t.path, lb, dur, nullptr);
+          t.start = start;
+          t.end = start + dur;
+          assigned_tasks_.insert(t.id);
+          // Blocking tasks must wait for the wash to finish.
+          for (const WashTarget& target : w.targets)
+            if (target.blocking_task >= 0) {
+              double& floor = wash_floor[target.blocking_task];
+              floor = std::max(floor, t.end);
+            }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  void buildItems() {
+    for (const assay::OpSchedule& s : base_.opSchedules())
+      items_.push_back({Item::Kind::Op, s.op, s.start});
+    for (const FluidTask& t : base_.tasks())
+      items_.push_back({Item::Kind::Task, t.id, t.start});
+    for (std::size_t w = 0; w < washes_.size(); ++w) {
+      // Slot the wash right after its contamination is complete (ready =
+      // latest contaminating end in the base schedule): every contaminating
+      // item sorts before it, every blocking task (start >= ready) after.
+      items_.push_back(
+          {Item::Kind::Wash, static_cast<int>(w), washes_[w].ready - 0.25});
+    }
+    std::stable_sort(items_.begin(), items_.end(),
+                     [](const Item& a, const Item& b) {
+                       return a.order_key < b.order_key;
+                     });
+  }
+
+  /// Precedence lower bound of a base task (mirrors the synthesizer's and
+  /// the validator's rules).
+  double taskLowerBound(const AssaySchedule& out, const FluidTask& t) const {
+    double lb = 0.0;
+    if (t.producer >= 0 && assigned_ops_.count(t.producer))
+      lb = std::max(lb, out.opSchedule(t.producer).end);
+    if (t.kind == TaskKind::ExcessRemoval) {
+      // After its matching transport.
+      if (t.matching_transport >= 0 &&
+          assigned_tasks_.count(t.matching_transport)) {
+        lb = std::max(lb, out.task(t.matching_transport).end);
+      } else {
+        for (const FluidTask& other : out.tasks())
+          if (other.kind == TaskKind::Transport &&
+              other.producer == t.producer &&
+              other.consumer == t.consumer &&
+              assigned_tasks_.count(other.id))
+            lb = std::max(lb, other.end);
+      }
+    }
+    if (t.kind == TaskKind::WasteRemoval && t.producer >= 0) {
+      // After every outgoing transport of the producing op.
+      for (const FluidTask& other : out.tasks())
+        if (other.kind == TaskKind::Transport &&
+            other.producer == t.producer && assigned_tasks_.count(other.id))
+          lb = std::max(lb, other.end);
+    }
+    return lb;
+  }
+
+  /// Earliest start >= lb with no spatial/temporal conflict against
+  /// already-assigned tasks and ops. When `self` is a base task,
+  /// contamination-unsafe conflicting pairs are kept in assignment order
+  /// (start after the assigned one) even if a gap would fit — the necessity
+  /// analysis is only valid for the base use order. Tasks never slip into
+  /// gaps before assigned operations whose device cell they cross, for the
+  /// same reason.
+  double taskSlot(const AssaySchedule& out, const arch::FlowPath& path,
+                  double lb, double dur, const FluidTask* self) const {
+    double start = lb;
+    // Hard floors first: assignment-order preservation.
+    for (const FluidTask& other : out.tasks()) {
+      if (!assigned_tasks_.count(other.id)) continue;
+      if (other.duration() <= 1e-9) continue;
+      if (!other.path.overlaps(path)) continue;
+      const bool safe =
+          self == nullptr ||
+          reorderSafe(base_.graph().fluids(), *self, other);
+      if (!safe) start = std::max(start, other.end);
+    }
+    if (self != nullptr) {
+      for (const assay::OpSchedule& o : out.opSchedules()) {
+        if (!assigned_ops_.count(o.op)) continue;
+        if (self->consumer == o.op) continue;  // own consumer comes later
+        if (path.contains(base_.chip().device(o.device).cell))
+          start = std::max(start, o.end);
+      }
+    }
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      const double end = start + dur;
+      for (const FluidTask& other : out.tasks()) {
+        if (!assigned_tasks_.count(other.id)) continue;
+        if (other.end <= start + 1e-9 || other.start >= end - 1e-9) continue;
+        if (other.duration() <= 1e-9) continue;
+        if (other.path.overlaps(path)) {
+          start = other.end;
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      for (const assay::OpSchedule& o : out.opSchedules()) {
+        if (!assigned_ops_.count(o.op)) continue;
+        if (o.end <= start + 1e-9 || o.start >= end - 1e-9) continue;
+        if (path.contains(base_.chip().device(o.device).cell)) {
+          start = o.end;
+          moved = true;
+          break;
+        }
+      }
+    }
+    return start;
+  }
+
+  /// Earliest start >= lb at which no assigned task crosses `device_cell`.
+  /// Assignment order against crossing tasks is preserved (no gap-filling
+  /// before a task that already crossed the device in base order).
+  double opSlot(const AssaySchedule& out, arch::Cell device_cell, double lb,
+                double dur, assay::OpId self) const {
+    double start = lb;
+    for (const FluidTask& other : out.tasks()) {
+      if (!assigned_tasks_.count(other.id)) continue;
+      if (other.duration() <= 1e-9) continue;
+      if (other.consumer == self) continue;  // own inputs end before us
+      if (other.path.contains(device_cell))
+        start = std::max(start, other.end);
+    }
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      const double end = start + dur;
+      for (const FluidTask& other : out.tasks()) {
+        if (!assigned_tasks_.count(other.id)) continue;
+        if (other.end <= start + 1e-9 || other.start >= end - 1e-9) continue;
+        if (other.duration() <= 1e-9) continue;
+        if (other.path.contains(device_cell)) {
+          start = other.end;
+          moved = true;
+          break;
+        }
+      }
+    }
+    return start;
+  }
+
+  const AssaySchedule& base_;
+  const std::vector<WashOperation>& washes_;
+  const WashParams& params_;
+  std::vector<Item> items_;
+  std::set<OpId> assigned_ops_;
+  std::set<TaskId> assigned_tasks_;
+};
+
+}  // namespace
+
+AssaySchedule rescheduleWithWashes(const AssaySchedule& base,
+                                   const std::vector<WashOperation>& washes,
+                                   const WashParams& params) {
+  Engine engine(base, washes, params);
+  return engine.run();
+}
+
+}  // namespace pdw::wash

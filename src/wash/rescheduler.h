@@ -1,0 +1,30 @@
+// Fixed-order rescheduler: insert wash operations into a base schedule by
+// greedy earliest-slot assignment.
+//
+// Items (operations, fluidic tasks, washes) are processed in base-schedule
+// order — washes slotted just before their earliest blocking task — and
+// each is assigned the earliest start that satisfies its precedence lower
+// bounds and conflicts with nothing already placed. Blocking tasks are
+// pushed past their wash's end, which cascades exactly like the sweep-line
+// interval assignment of the DAWO baseline [10]; PDW uses the same engine
+// only as a fallback when the scheduling ILP fails within its budget.
+//
+// The output is valid by construction (same invariants the sim validator
+// checks).
+#pragma once
+
+#include <vector>
+
+#include "wash/plan.h"
+#include "wash/wash_op.h"
+
+namespace pdw::wash {
+
+/// Insert `washes` into `base` and retime everything downstream. The
+/// returned schedule contains all base ops/tasks (same ids) plus one Wash
+/// task per wash operation, appended in input order.
+assay::AssaySchedule rescheduleWithWashes(
+    const assay::AssaySchedule& base, const std::vector<WashOperation>& washes,
+    const WashParams& params);
+
+}  // namespace pdw::wash

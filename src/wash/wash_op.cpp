@@ -1,0 +1,78 @@
+#include "wash/wash_op.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pdw::wash {
+
+std::vector<arch::Cell> WashOperation::targetCells() const {
+  std::vector<arch::Cell> cells;
+  cells.reserve(targets.size());
+  for (const WashTarget& t : targets)
+    if (std::find(cells.begin(), cells.end(), t.cell) == cells.end())
+      cells.push_back(t.cell);
+  return cells;
+}
+
+void WashOperation::refreshWindow() {
+  ready = 0.0;
+  deadline = std::numeric_limits<double>::infinity();
+  for (const WashTarget& t : targets) {
+    ready = std::max(ready, t.ready);
+    if (t.blocking_task >= 0) deadline = std::min(deadline, t.deadline);
+  }
+}
+
+std::vector<WashOperation> clusterTargets(std::vector<WashTarget> targets,
+                                          const ClusterOptions& options) {
+  // Earliest-deadline-first greedy clustering: each unassigned target seeds
+  // a cluster; later targets join while the shared window stays at least
+  // min_window_s wide and the cluster stays spatially compact.
+  std::sort(targets.begin(), targets.end(),
+            [](const WashTarget& a, const WashTarget& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              if (a.ready != b.ready) return a.ready < b.ready;
+              return a.cell < b.cell;
+            });
+
+  std::vector<WashOperation> ops;
+  std::vector<bool> assigned(targets.size(), false);
+  for (std::size_t seed = 0; seed < targets.size(); ++seed) {
+    if (assigned[seed]) continue;
+    WashOperation op;
+    op.targets.push_back(targets[seed]);
+    assigned[seed] = true;
+    double ready = targets[seed].ready;
+    double deadline = targets[seed].blocking_task >= 0
+                          ? targets[seed].deadline
+                          : std::numeric_limits<double>::infinity();
+
+    for (std::size_t i = seed + 1; i < targets.size(); ++i) {
+      if (assigned[i]) continue;
+      const WashTarget& candidate = targets[i];
+      const double new_ready = std::max(ready, candidate.ready);
+      const double new_deadline =
+          candidate.blocking_task >= 0
+              ? std::min(deadline, candidate.deadline)
+              : deadline;
+      if (new_deadline - new_ready < options.min_window_s) continue;
+
+      bool close = true;
+      for (const WashTarget& member : op.targets)
+        if (arch::manhattan(member.cell, candidate.cell) > options.max_span)
+          close = false;
+      if (!close) continue;
+
+      op.targets.push_back(candidate);
+      assigned[i] = true;
+      ready = new_ready;
+      deadline = new_deadline;
+    }
+
+    op.refreshWindow();
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace pdw::wash

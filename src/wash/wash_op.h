@@ -1,0 +1,58 @@
+// Wash operations: a clustered set of wash targets served by one buffer
+// flush along one wash path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/path.h"
+#include "wash/necessity.h"
+
+namespace pdw::wash {
+
+/// Physical constants of wash execution (paper §III/§IV).
+struct WashParams {
+  /// Flow velocity v_f in mm/s (paper uses 10 mm/s, citing [13]).
+  double flow_velocity_mm_s = 10.0;
+  /// Contaminant dissolution time t_d in seconds (eq. 17, citing [11]).
+  double dissolution_s = 2.0;
+};
+
+struct WashOperation {
+  std::vector<WashTarget> targets;
+  arch::FlowPath path;  ///< [flow port -> targets -> waste port]
+
+  /// Earliest start: every target's residue must exist (max ready;
+  /// eq. 16's t_{j,e}).
+  double ready = 0.0;
+  /// Latest end: the earliest blocking use (min deadline; eq. 16's t_{j,s}).
+  /// May be +infinity when no target has a blocking task.
+  double deadline = 0.0;
+
+  /// t(w) = L(l_w)/v_f + t_d (eq. 17).
+  double duration(const WashParams& params, double pitch_mm) const {
+    return path.lengthMm(pitch_mm) / params.flow_velocity_mm_s +
+           params.dissolution_s;
+  }
+
+  /// Cells the wash must cover (eq. 15's wt_i).
+  std::vector<arch::Cell> targetCells() const;
+
+  /// Recompute ready/deadline from the target list.
+  void refreshWindow();
+};
+
+/// Cluster wash targets into operations: targets join a cluster while their
+/// windows keep a non-empty intersection (with `min_window` slack for the
+/// wash itself) and stay within `max_span` grid distance of the cluster —
+/// one flush then serves all of them (paper §II-C computes one optimized
+/// path per group of wash requirements).
+struct ClusterOptions {
+  double min_window_s = 2.0;
+  int max_span = 16;
+};
+
+std::vector<WashOperation> clusterTargets(std::vector<WashTarget> targets,
+                                          const ClusterOptions& options = {});
+
+}  // namespace pdw::wash

@@ -1,0 +1,151 @@
+// Fluid registry, sequencing graph and benchmark reconstruction tests.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.h"
+#include "assay/sequencing_graph.h"
+
+namespace pdw::assay {
+namespace {
+
+TEST(FluidRegistry, KindsAndContamination) {
+  FluidRegistry fluids;
+  const FluidId r1 = fluids.addReagent("r1");
+  const FluidId r2 = fluids.addReagent("r2");
+  const FluidId mix = fluids.addMixture("mix");
+
+  EXPECT_EQ(fluids.kind(r1), FluidKind::Reagent);
+  EXPECT_EQ(fluids.kind(mix), FluidKind::Mixture);
+  EXPECT_EQ(fluids.kind(fluids.buffer()), FluidKind::Buffer);
+  EXPECT_EQ(fluids.kind(fluids.waste()), FluidKind::Waste);
+
+  // Same type never contaminates (Type 2 of the paper).
+  EXPECT_FALSE(fluids.contaminates(r1, r1));
+  // Different types contaminate.
+  EXPECT_TRUE(fluids.contaminates(r1, r2));
+  EXPECT_TRUE(fluids.contaminates(mix, r1));
+  // Buffer residue is neutral.
+  EXPECT_FALSE(fluids.contaminates(fluids.buffer(), r1));
+  // Waste residue contaminates ordinary fluids.
+  EXPECT_TRUE(fluids.contaminates(fluids.waste(), r1));
+}
+
+TEST(SequencingGraph, BasicTopology) {
+  SequencingGraph g("test");
+  const FluidId r1 = g.fluids().addReagent("r1");
+  const OpId a = g.addOperation(OpKind::Mix, 3, {r1});
+  const OpId b = g.addOperation(OpKind::Heat, 4);
+  const OpId c = g.addOperation(OpKind::Detect, 5);
+  g.addDependency(a, b);
+  g.addDependency(b, c);
+
+  EXPECT_TRUE(g.isAcyclic());
+  EXPECT_EQ(g.parents(b), std::vector<OpId>{a});
+  EXPECT_EQ(g.children(b), std::vector<OpId>{c});
+  EXPECT_EQ(g.sinkOps(), std::vector<OpId>{c});
+  EXPECT_EQ(g.topologicalOrder(), (std::vector<OpId>{a, b, c}));
+  // |E| = 2 deps + 1 reagent + 1 sink.
+  EXPECT_EQ(g.totalEdgeCount(), 4);
+}
+
+TEST(SequencingGraph, DetectsCycles) {
+  SequencingGraph g;
+  const OpId a = g.addOperation(OpKind::Mix, 1);
+  const OpId b = g.addOperation(OpKind::Mix, 1);
+  g.addDependency(a, b);
+  g.addDependency(b, a);
+  EXPECT_FALSE(g.isAcyclic());
+}
+
+TEST(SequencingGraph, ResultFluidsAreDistinctMixtures) {
+  SequencingGraph g;
+  const OpId a = g.addOperation(OpKind::Mix, 1);
+  const OpId b = g.addOperation(OpKind::Mix, 1);
+  EXPECT_NE(g.op(a).result, g.op(b).result);
+  EXPECT_EQ(g.fluids().kind(g.op(a).result), FluidKind::Mixture);
+  // Results of different ops contaminate each other.
+  EXPECT_TRUE(g.fluids().contaminates(g.op(a).result, g.op(b).result));
+}
+
+TEST(SequencingGraph, RequiredDeviceMapping) {
+  EXPECT_EQ(requiredDevice(OpKind::Mix), arch::DeviceKind::Mixer);
+  EXPECT_EQ(requiredDevice(OpKind::Heat), arch::DeviceKind::Heater);
+  EXPECT_EQ(requiredDevice(OpKind::Detect), arch::DeviceKind::Detector);
+  EXPECT_EQ(requiredDevice(OpKind::Filter), arch::DeviceKind::Filter);
+  EXPECT_EQ(requiredDevice(OpKind::Store), arch::DeviceKind::Storage);
+}
+
+// Every reconstructed benchmark must match the published |O|/|D|/|E| triple
+// of Table II (PCR 7/5/15, ..., Synthetic3 20/18/28).
+struct BenchmarkSizes {
+  BenchmarkId id;
+  int ops;
+  int devices;
+  int edges;
+};
+
+class BenchmarkSizeTest : public ::testing::TestWithParam<BenchmarkSizes> {};
+
+TEST_P(BenchmarkSizeTest, MatchesTableII) {
+  const BenchmarkSizes expected = GetParam();
+  const Benchmark b = makeBenchmark(expected.id);
+  EXPECT_EQ(b.graph->numOps(), expected.ops);
+  EXPECT_EQ(arch::totalDevices(b.library), expected.devices);
+  EXPECT_EQ(b.graph->totalEdgeCount(), expected.edges);
+  EXPECT_TRUE(b.graph->isAcyclic());
+  EXPECT_EQ(b.name, toString(expected.id));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, BenchmarkSizeTest,
+    ::testing::Values(BenchmarkSizes{BenchmarkId::Pcr, 7, 5, 15},
+                      BenchmarkSizes{BenchmarkId::Ivd, 12, 9, 24},
+                      BenchmarkSizes{BenchmarkId::ProteinSplit, 14, 11, 27},
+                      BenchmarkSizes{BenchmarkId::KinaseAct1, 4, 9, 16},
+                      BenchmarkSizes{BenchmarkId::KinaseAct2, 12, 9, 48},
+                      BenchmarkSizes{BenchmarkId::Synthetic1, 10, 12, 15},
+                      BenchmarkSizes{BenchmarkId::Synthetic2, 15, 13, 24},
+                      BenchmarkSizes{BenchmarkId::Synthetic3, 20, 18, 28}),
+    [](const ::testing::TestParamInfo<BenchmarkSizes>& info) {
+      std::string name = toString(info.param.id);
+      for (char& c : name)
+        if (c == ' ' || c == '-') c = '_';
+      return name;
+    });
+
+TEST(Benchmarks, LibraryCoversEveryOpKind) {
+  for (BenchmarkId id : allBenchmarks()) {
+    const Benchmark b = makeBenchmark(id);
+    for (const Operation& op : b.graph->ops()) {
+      const arch::DeviceKind needed = requiredDevice(op.kind);
+      bool covered = false;
+      for (const arch::DeviceSpec& spec : b.library)
+        if (spec.kind == needed && spec.count > 0) covered = true;
+      EXPECT_TRUE(covered) << b.name << " op " << op.id;
+    }
+  }
+}
+
+TEST(Benchmarks, MotivatingChipMatchesPaperStructure) {
+  const auto chip = makeMotivatingChip();
+  EXPECT_EQ(chip->devices().size(), 5u);
+  EXPECT_EQ(chip->flowPorts().size(), 4u);
+  EXPECT_EQ(chip->wastePorts().size(), 4u);
+  EXPECT_EQ(chip->devicesOfKind(arch::DeviceKind::Detector).size(), 2u);
+  EXPECT_EQ(chip->devicesOfKind(arch::DeviceKind::Mixer).size(), 1u);
+  EXPECT_EQ(chip->devicesOfKind(arch::DeviceKind::Heater).size(), 1u);
+  EXPECT_EQ(chip->devicesOfKind(arch::DeviceKind::Filter).size(), 1u);
+}
+
+TEST(Benchmarks, PcrHasWasteProducingFilter) {
+  const Benchmark b = makeBenchmark(BenchmarkId::Pcr);
+  bool any = false;
+  for (const Operation& op : b.graph->ops())
+    if (op.produces_waste) {
+      any = true;
+      EXPECT_EQ(op.kind, OpKind::Filter);
+    }
+  EXPECT_TRUE(any);
+}
+
+}  // namespace
+}  // namespace pdw::assay

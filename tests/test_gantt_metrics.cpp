@@ -1,0 +1,157 @@
+// Gantt rendering and the extended metrics (buffer volume, concurrency).
+#include <gtest/gtest.h>
+
+#include "sim/gantt.h"
+#include "sim/metrics.h"
+
+namespace pdw::sim {
+namespace {
+
+using arch::Cell;
+
+class GanttFixture : public ::testing::Test {
+ protected:
+  GanttFixture() : chip_(7, 3, 3.0), graph_("gantt") {
+    chip_.addFlowPort({0, 1}, "in");
+    mixer_ = chip_.addDevice(arch::DeviceKind::Mixer, {3, 1}, "mixer");
+    chip_.addWastePort({6, 1}, "out");
+    r_ = graph_.fluids().addReagent("r");
+    op_ = graph_.addOperation(assay::OpKind::Mix, 3.0, {r_}, "mix");
+  }
+
+  arch::FlowPath corridor() {
+    return arch::FlowPath(
+        {{0, 1}, {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}, {6, 1}});
+  }
+
+  assay::AssaySchedule makeSchedule() {
+    assay::AssaySchedule s(&graph_, &chip_);
+    assay::FluidTask t;
+    t.kind = assay::TaskKind::Transport;
+    t.fluid = r_;
+    t.consumer = op_;
+    t.path = corridor();
+    t.start = 0;
+    t.end = 2;
+    s.addTask(t);
+    s.addOpSchedule({op_, mixer_, 2.0, 5.0});
+    return s;
+  }
+
+  arch::ChipLayout chip_;
+  assay::SequencingGraph graph_;
+  arch::DeviceId mixer_ = -1;
+  assay::FluidId r_ = -1;
+  assay::OpId op_ = -1;
+};
+
+TEST_F(GanttFixture, RendersOpsAndTasks) {
+  const std::string chart = renderGantt(makeSchedule());
+  EXPECT_NE(chart.find("mix"), std::string::npos);
+  EXPECT_NE(chart.find("mixer"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);   // op bar
+  EXPECT_NE(chart.find('='), std::string::npos);   // transport bar
+  EXPECT_NE(chart.find("transport"), std::string::npos);
+}
+
+TEST_F(GanttFixture, EmptyScheduleHandled) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  EXPECT_EQ(renderGantt(s), "(empty schedule)\n");
+}
+
+TEST_F(GanttFixture, ScalesDownLongSchedules) {
+  auto s = makeSchedule();
+  assay::FluidTask late;
+  late.kind = assay::TaskKind::Transport;
+  late.fluid = r_;
+  late.path = corridor();
+  late.start = 990;
+  late.end = 1000;
+  s.addTask(late);
+  GanttOptions options;
+  options.max_width = 50;
+  const std::string chart = renderGantt(s, options);
+  // No rendered line may exceed label + width + slack.
+  std::istringstream stream(chart);
+  std::string line;
+  while (std::getline(stream, line)) EXPECT_LE(line.size(), 90u);
+}
+
+TEST_F(GanttFixture, HidesTasksOnRequest) {
+  GanttOptions options;
+  options.show_tasks = false;
+  const std::string chart = renderGantt(makeSchedule(), options);
+  // No task row (the legend still mentions "= transport" textually).
+  EXPECT_EQ(chart.find("transport  #"), std::string::npos);
+  EXPECT_NE(chart.find("mix"), std::string::npos);
+}
+
+TEST_F(GanttFixture, IntegratedRemovalsHiddenFromGantt) {
+  auto s = makeSchedule();
+  assay::FluidTask integrated;
+  integrated.kind = assay::TaskKind::ExcessRemoval;
+  integrated.fluid = r_;
+  integrated.path = corridor();
+  integrated.start = 1;
+  integrated.end = 1;  // zero duration
+  s.addTask(integrated);
+  const std::string chart = renderGantt(s);
+  EXPECT_EQ(chart.find("excess-removal"), std::string::npos);
+}
+
+TEST_F(GanttFixture, ConcurrencyMetric) {
+  auto base = makeSchedule();
+  auto washed = makeSchedule();
+  // Wash [2, 4): fully inside the op interval [2, 5) -> 100 % concurrent.
+  assay::FluidTask wash;
+  wash.kind = assay::TaskKind::Wash;
+  wash.fluid = graph_.fluids().buffer();
+  wash.path = corridor();
+  wash.start = 2;
+  wash.end = 4;
+  washed.addTask(wash);
+  const WashMetrics m = computeMetrics(washed, base);
+  EXPECT_NEAR(m.wash_concurrency, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.buffer_cell_volumes, 7.0);  // 7 path cells
+
+  // Wash [6, 8): nothing else runs -> 0 % concurrent.
+  auto washed2 = makeSchedule();
+  wash.start = 6;
+  wash.end = 8;
+  washed2.addTask(wash);
+  const WashMetrics m2 = computeMetrics(washed2, base);
+  EXPECT_NEAR(m2.wash_concurrency, 0.0, 1e-9);
+
+  // Wash [4, 6): half inside the op interval -> 50 %.
+  auto washed3 = makeSchedule();
+  wash.start = 4;
+  wash.end = 6;
+  washed3.addTask(wash);
+  const WashMetrics m3 = computeMetrics(washed3, base);
+  EXPECT_NEAR(m3.wash_concurrency, 0.5, 1e-9);
+}
+
+TEST_F(GanttFixture, ConcurrencyNotDoubleCountedOnOverlaps) {
+  auto base = makeSchedule();
+  auto washed = makeSchedule();
+  // Two busy intervals covering the same span must not yield > 100 %.
+  assay::FluidTask extra;
+  extra.kind = assay::TaskKind::Transport;
+  extra.fluid = r_;
+  extra.path = arch::FlowPath({{0, 1}, {1, 1}});
+  extra.start = 2;
+  extra.end = 5;
+  washed.addTask(extra);
+  assay::FluidTask wash;
+  wash.kind = assay::TaskKind::Wash;
+  wash.fluid = graph_.fluids().buffer();
+  wash.path = corridor();
+  wash.start = 2;
+  wash.end = 4;
+  washed.addTask(wash);
+  const WashMetrics m = computeMetrics(washed, base);
+  EXPECT_LE(m.wash_concurrency, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace pdw::sim

@@ -1,0 +1,145 @@
+// Model container, LinExpr algebra and presolve tests.
+#include <gtest/gtest.h>
+
+#include "ilp/presolve.h"
+#include "ilp/solver.h"
+
+namespace pdw::ilp {
+namespace {
+
+TEST(LinExpr, MergesAndSortsTerms) {
+  LinExpr e;
+  e.add(3, 2.0);
+  e.add(1, 1.0);
+  e.add(3, -2.0);  // cancels
+  e.add(2, 4.0);
+  ASSERT_EQ(e.terms().size(), 2u);
+  EXPECT_EQ(e.terms()[0].first, 1);
+  EXPECT_EQ(e.terms()[1].first, 2);
+  EXPECT_DOUBLE_EQ(e.terms()[1].second, 4.0);
+}
+
+TEST(LinExpr, ArithmeticOperators) {
+  LinExpr a = LinExpr(0) + 2.0 * LinExpr(1) + 5.0;
+  LinExpr b = a - LinExpr(1);
+  EXPECT_DOUBLE_EQ(b.constant(), 5.0);
+  ASSERT_EQ(b.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.terms()[1].second, 1.0);
+
+  LinExpr c = -b;
+  EXPECT_DOUBLE_EQ(c.constant(), -5.0);
+  EXPECT_DOUBLE_EQ(c.terms()[0].second, -1.0);
+
+  LinExpr zero = b * 0.0;
+  EXPECT_TRUE(zero.empty());
+  EXPECT_DOUBLE_EQ(zero.constant(), 0.0);
+}
+
+TEST(LinExpr, Evaluate) {
+  LinExpr e = 2.0 * LinExpr(0) - 3.0 * LinExpr(2) + 1.0;
+  std::vector<double> x = {4.0, 9.0, 2.0};
+  EXPECT_DOUBLE_EQ(e.evaluate(x), 8.0 - 6.0 + 1.0);
+}
+
+TEST(Model, ConstantFoldedIntoRhs) {
+  Model m;
+  VarId x = m.addContinuous(0, 10);
+  m.addLessEqual(LinExpr(x) + 4.0, 10.0);  // x <= 6
+  EXPECT_DOUBLE_EQ(m.constraint(0).rhs, 6.0);
+  EXPECT_DOUBLE_EQ(m.constraint(0).expr.constant(), 0.0);
+}
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  VarId x = m.addBinary("x");
+  VarId y = m.addContinuous(0, 5, "y");
+  m.addLessEqual(LinExpr(x) + LinExpr(y), 3);
+
+  EXPECT_TRUE(m.isFeasible({1.0, 2.0}));
+  EXPECT_FALSE(m.isFeasible({1.0, 2.5}));   // constraint violated
+  EXPECT_FALSE(m.isFeasible({0.5, 1.0}));   // integrality violated
+  EXPECT_FALSE(m.isFeasible({1.0, 6.0}));   // bound violated
+  EXPECT_FALSE(m.isFeasible({1.0}));        // wrong arity
+}
+
+TEST(Model, DebugStringMentionsPieces) {
+  Model m;
+  VarId x = m.addBinary("kappa");
+  m.addLessEqual(2.0 * LinExpr(x), 1, "order");
+  m.setObjective(LinExpr(x));
+  const std::string dump = m.debugString();
+  EXPECT_NE(dump.find("kappa"), std::string::npos);
+  EXPECT_NE(dump.find("order"), std::string::npos);
+  EXPECT_NE(dump.find("minimize"), std::string::npos);
+}
+
+TEST(Presolve, TightensSingletonRows) {
+  Model m;
+  VarId x = m.addContinuous(0, 100, "x");
+  m.addLessEqual(2.0 * LinExpr(x), 10);  // x <= 5
+  m.addGreaterEqual(LinExpr(x), 2);      // x >= 2
+  PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_NEAR(m.var(x).upper, 5.0, 1e-9);
+  EXPECT_NEAR(m.var(x).lower, 2.0, 1e-9);
+}
+
+TEST(Presolve, RoundsIntegerBounds) {
+  Model m;
+  VarId x = m.addInteger(0, 100, "x");
+  m.addLessEqual(2.0 * LinExpr(x), 7);  // x <= 3.5 -> 3
+  PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_NEAR(m.var(x).upper, 3.0, 1e-9);
+}
+
+TEST(Presolve, PropagatesThroughChains) {
+  // x <= 3, y <= x (y - x <= 0) with y in [0, 100]: y <= 3 after 2 rounds.
+  Model m;
+  VarId x = m.addContinuous(0, 100, "x");
+  VarId y = m.addContinuous(0, 100, "y");
+  m.addLessEqual(LinExpr(x), 3);
+  m.addLessEqual(LinExpr(y) - LinExpr(x), 0);
+  PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_NEAR(m.var(y).upper, 3.0, 1e-9);
+}
+
+TEST(Presolve, DetectsIntervalInfeasibility) {
+  Model m;
+  VarId x = m.addContinuous(0, 1, "x");
+  VarId y = m.addContinuous(0, 1, "y");
+  m.addGreaterEqual(LinExpr(x) + LinExpr(y), 3);  // max activity is 2
+  PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(Presolve, InfiniteBoundsDoNotPoison) {
+  Model m;
+  VarId x = m.addContinuous(0, kInfinity, "x");
+  VarId y = m.addContinuous(0, 5, "y");
+  m.addLessEqual(LinExpr(x) + LinExpr(y), 10);
+  PresolveResult r = presolve(m);
+  EXPECT_FALSE(r.infeasible);
+  EXPECT_NEAR(m.var(x).upper, 10.0, 1e-9);  // x <= 10 - min(y) = 10
+}
+
+TEST(Presolve, SolutionUnchangedBySolveWithPresolve) {
+  Model m;
+  VarId x = m.addInteger(0, 50, "x");
+  VarId y = m.addInteger(0, 50, "y");
+  m.addLessEqual(LinExpr(x) + 2.0 * LinExpr(y), 14);
+  m.addLessEqual(3.0 * LinExpr(x) - LinExpr(y), 0);
+  m.setObjective(-1.0 * LinExpr(x) - LinExpr(y));
+
+  SolveParams with, without;
+  without.enable_presolve = false;
+  Solution a = solve(m, with);
+  Solution b = solve(m, without);
+  ASSERT_EQ(a.status, SolveStatus::Optimal);
+  ASSERT_EQ(b.status, SolveStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace pdw::ilp

@@ -1,0 +1,101 @@
+// Warm-start behaviour of the MILP solver and the firstViolation
+// diagnostic — the mechanisms behind PDW's "never worse than greedy"
+// guarantee.
+#include <gtest/gtest.h>
+
+#include "ilp/solver.h"
+
+namespace pdw::ilp {
+namespace {
+
+Model knapsack() {
+  // max 10a + 13b + 7c st 3a + 4b + 2c <= 6 -> optimum {b, c} = 20.
+  Model m;
+  const VarId a = m.addBinary("a");
+  const VarId b = m.addBinary("b");
+  const VarId c = m.addBinary("c");
+  m.addLessEqual(3.0 * LinExpr(a) + 4.0 * LinExpr(b) + 2.0 * LinExpr(c), 6);
+  m.setObjective(-10.0 * LinExpr(a) - 13.0 * LinExpr(b) - 7.0 * LinExpr(c));
+  return m;
+}
+
+TEST(WarmStart, FeasibleWarmStartIsAccepted) {
+  Model m = knapsack();
+  SolveParams params;
+  params.warm_start = {1.0, 0.0, 1.0};  // {a, c}: feasible, value 17
+  const Solution s = solve(m, params);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -20.0, 1e-6);  // still finds the true optimum
+}
+
+TEST(WarmStart, SolverNeverReturnsWorseThanWarmStart) {
+  Model m = knapsack();
+  SolveParams params;
+  params.warm_start = {1.0, 0.0, 1.0};  // objective -17
+  params.node_limit = 1;               // starve the search
+  const Solution s = solve(m, params);
+  ASSERT_TRUE(s.hasSolution());
+  EXPECT_LE(s.objective, -17.0 + 1e-9);
+}
+
+TEST(WarmStart, InfeasibleWarmStartIsRejectedSafely) {
+  Model m = knapsack();
+  SolveParams params;
+  params.warm_start = {1.0, 1.0, 1.0};  // weight 9 > 6: infeasible
+  const Solution s = solve(m, params);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, -20.0, 1e-6);
+}
+
+TEST(WarmStart, WrongArityIsIgnored) {
+  Model m = knapsack();
+  SolveParams params;
+  params.warm_start = {1.0};  // wrong size
+  const Solution s = solve(m, params);
+  EXPECT_EQ(s.status, SolveStatus::Optimal);
+}
+
+TEST(WarmStart, FractionalIntegerValuesAreRounded) {
+  Model m = knapsack();
+  SolveParams params;
+  params.warm_start = {0.99, 0.01, 0.98};  // rounds to feasible {a, c}
+  params.node_limit = 1;
+  const Solution s = solve(m, params);
+  ASSERT_TRUE(s.hasSolution());
+  EXPECT_LE(s.objective, -17.0 + 1e-9);
+}
+
+TEST(FirstViolation, ReportsBounds) {
+  Model m;
+  const VarId x = m.addContinuous(0, 5, "speed");
+  (void)x;
+  const std::string msg = m.firstViolation({7.0});
+  EXPECT_NE(msg.find("bound violated"), std::string::npos);
+  EXPECT_NE(msg.find("speed"), std::string::npos);
+}
+
+TEST(FirstViolation, ReportsIntegrality) {
+  Model m;
+  m.addBinary("flag");
+  const std::string msg = m.firstViolation({0.5});
+  EXPECT_NE(msg.find("integrality"), std::string::npos);
+}
+
+TEST(FirstViolation, ReportsConstraintWithTerms) {
+  Model m;
+  const VarId x = m.addContinuous(0, 10, "x");
+  m.addLessEqual(2.0 * LinExpr(x), 4, "cap");
+  const std::string msg = m.firstViolation({5.0});
+  EXPECT_NE(msg.find("cap"), std::string::npos);
+  EXPECT_NE(msg.find("x"), std::string::npos);
+}
+
+TEST(FirstViolation, EmptyForFeasiblePoint) {
+  Model m;
+  const VarId x = m.addContinuous(0, 10, "x");
+  m.addLessEqual(LinExpr(x), 4);
+  EXPECT_TRUE(m.firstViolation({3.0}).empty());
+}
+
+}  // namespace
+}  // namespace pdw::ilp

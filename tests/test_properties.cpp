@@ -1,0 +1,131 @@
+// Cross-cutting property tests, parameterized over all eight benchmarks:
+//  * contamination-tracker structural invariants,
+//  * necessity-analysis monotonicity (disabling an exemption never reduces
+//    the target count),
+//  * wash-plan invariants shared by PDW and DAWO.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.h"
+#include "baseline/dawo.h"
+#include "core/pathdriver_wash.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+#include "wash/contamination.h"
+#include "wash/necessity.h"
+
+namespace pdw {
+namespace {
+
+using assay::BenchmarkId;
+
+class PropertyTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  void SetUp() override {
+    benchmark_ = assay::makeBenchmark(GetParam());
+    base_ = synth::synthesizeOnChip(*benchmark_.graph,
+                                    synth::placeChip(benchmark_.library));
+  }
+  assay::Benchmark benchmark_;
+  synth::SynthResult base_;
+};
+
+TEST_P(PropertyTest, TrackerNeverTracksPortsAndKeepsTimeOrder) {
+  const wash::ContaminationTracker tracker(base_.schedule);
+  for (const arch::Cell& cell : tracker.usedCells()) {
+    EXPECT_FALSE(base_.chip->isPortCell(cell));
+    const auto& uses = tracker.usesOf(cell);
+    for (std::size_t i = 1; i < uses.size(); ++i)
+      EXPECT_LE(uses[i - 1].start, uses[i].start);
+    for (const wash::CellUse& use : uses) {
+      EXPECT_LE(use.start, use.end);
+      EXPECT_GE(use.fluid, 0);
+    }
+  }
+}
+
+TEST_P(PropertyTest, EveryTargetHasConsistentWindow) {
+  const wash::ContaminationTracker tracker(base_.schedule);
+  const auto result = analyzeWashNecessity(tracker);
+  for (const wash::WashTarget& t : result.targets) {
+    EXPECT_LE(t.ready, t.deadline) << benchmark_.name;
+    EXPECT_TRUE(t.contaminating_task >= 0 || t.contaminating_op >= 0);
+    // Deposit source is exactly one of task/op.
+    EXPECT_FALSE(t.contaminating_task >= 0 && t.contaminating_op >= 0);
+    EXPECT_GE(t.blocking_task, 0);  // base analysis: every target blocks
+    // The blocking task's start is the deadline.
+    EXPECT_NEAR(base_.schedule.task(t.blocking_task).start, t.deadline,
+                1e-9);
+  }
+}
+
+TEST_P(PropertyTest, DisablingExemptionsIsMonotone) {
+  const wash::ContaminationTracker tracker(base_.schedule);
+  const auto full = analyzeWashNecessity(tracker);
+  for (int which = 1; which <= 3; ++which) {
+    wash::NecessityOptions options;
+    options.enable_type1 = which != 1;
+    options.enable_type2 = which != 2;
+    options.enable_type3 = which != 3;
+    const auto ablated = analyzeWashNecessity(tracker, options);
+    EXPECT_GE(ablated.targets.size(), full.targets.size())
+        << benchmark_.name << " type" << which;
+  }
+}
+
+TEST_P(PropertyTest, SkipStatisticsAddUp) {
+  const wash::ContaminationTracker tracker(base_.schedule);
+  const auto r = analyzeWashNecessity(tracker);
+  // Every inspected contaminated state is either skipped or becomes a
+  // target... states are counted per use-transition, targets/skips are a
+  // subset; the invariant we can assert exactly:
+  EXPECT_GE(r.stats.contaminated_cell_states,
+            r.stats.skipped_type1 + r.stats.skipped_type2 +
+                r.stats.skipped_type3);
+  EXPECT_EQ(r.stats.targets, static_cast<int>(r.targets.size()));
+}
+
+TEST_P(PropertyTest, WashTasksAreWellFormedInBothMethods) {
+  core::PdwOptions quick;
+  quick.use_ilp_schedule = false;  // keep this property run fast
+  quick.use_ilp_paths = false;
+  const auto pdw = core::runPathDriverWash(base_.schedule, quick);
+  const auto dawo = baseline::runDawo(base_.schedule);
+  for (const auto* plan : {&pdw, &dawo}) {
+    for (const assay::FluidTask& t : plan->schedule.tasks()) {
+      if (t.kind != assay::TaskKind::Wash) continue;
+      EXPECT_TRUE(t.path.isConnected()) << plan->method;
+      EXPECT_TRUE(base_.chip->isPortCell(t.path.front())) << plan->method;
+      EXPECT_TRUE(base_.chip->isPortCell(t.path.back())) << plan->method;
+      EXPECT_FALSE(
+          base_.chip->port(*base_.chip->portAt(t.path.front())).is_waste);
+      EXPECT_TRUE(
+          base_.chip->port(*base_.chip->portAt(t.path.back())).is_waste);
+      EXPECT_GT(t.duration(), 0.0);
+      EXPECT_EQ(t.fluid, benchmark_.graph->fluids().buffer());
+    }
+  }
+}
+
+TEST_P(PropertyTest, GreedyPdwNeverSlowerThanDawo) {
+  // Even without its ILP stages, PDW's necessity analysis alone should not
+  // lose to DAWO on wash count.
+  core::PdwOptions quick;
+  quick.use_ilp_schedule = false;
+  quick.use_ilp_paths = false;
+  const auto pdw = core::runPathDriverWash(base_.schedule, quick);
+  const auto dawo = baseline::runDawo(base_.schedule);
+  EXPECT_LE(pdw.schedule.washCount(), dawo.schedule.washCount())
+      << benchmark_.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, PropertyTest, ::testing::ValuesIn(assay::allBenchmarks()),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      std::string name = assay::toString(info.param);
+      for (char& c : name)
+        if (c == ' ' || c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace pdw

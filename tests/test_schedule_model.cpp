@@ -1,0 +1,133 @@
+// AssaySchedule container and FluidTask payload-span helpers.
+#include <gtest/gtest.h>
+
+#include "assay/schedule.h"
+
+namespace pdw::assay {
+namespace {
+
+using arch::Cell;
+
+class ScheduleModelFixture : public ::testing::Test {
+ protected:
+  ScheduleModelFixture() : chip_(6, 2, 3.0), graph_("model") {
+    chip_.addFlowPort({0, 0}, "in");
+    device_ = chip_.addDevice(arch::DeviceKind::Mixer, {3, 0});
+    chip_.addWastePort({5, 0}, "out");
+    r_ = graph_.fluids().addReagent("r");
+    op_ = graph_.addOperation(OpKind::Mix, 2.0, {r_});
+  }
+  arch::ChipLayout chip_;
+  SequencingGraph graph_;
+  arch::DeviceId device_ = -1;
+  FluidId r_ = -1;
+  OpId op_ = -1;
+};
+
+FluidTask makeTask(double start, double end) {
+  FluidTask t;
+  t.kind = TaskKind::Transport;
+  t.path = arch::FlowPath(
+      {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}});
+  t.start = start;
+  t.end = end;
+  return t;
+}
+
+TEST_F(ScheduleModelFixture, TaskIdsAssignedSequentially) {
+  AssaySchedule s(&graph_, &chip_);
+  EXPECT_EQ(s.addTask(makeTask(0, 1)), 0);
+  EXPECT_EQ(s.addTask(makeTask(1, 2)), 1);
+  EXPECT_EQ(s.task(1).start, 1.0);
+}
+
+TEST_F(ScheduleModelFixture, TasksByStartSortsByTimeThenId) {
+  AssaySchedule s(&graph_, &chip_);
+  s.addTask(makeTask(5, 6));
+  s.addTask(makeTask(1, 2));
+  s.addTask(makeTask(5, 7));
+  const auto order = s.tasksByStart();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);  // tie at t=5: lower id first
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST_F(ScheduleModelFixture, CompletionTimeSpansOpsAndTasks) {
+  AssaySchedule s(&graph_, &chip_);
+  s.addOpSchedule({op_, device_, 0.0, 4.0});
+  s.addTask(makeTask(3, 9));
+  EXPECT_DOUBLE_EQ(s.completionTime(), 9.0);
+}
+
+TEST_F(ScheduleModelFixture, WashAccounting) {
+  AssaySchedule s(&graph_, &chip_);
+  FluidTask wash = makeTask(0, 3);
+  wash.kind = TaskKind::Wash;
+  s.addTask(wash);
+  FluidTask wash2 = makeTask(4, 6);
+  wash2.kind = TaskKind::Wash;
+  s.addTask(wash2);
+  s.addTask(makeTask(0, 1));  // not a wash
+  EXPECT_EQ(s.washCount(), 2);
+  EXPECT_DOUBLE_EQ(s.washLengthMm(), 2 * 5 * 3.0);  // 5 edges * 3mm each
+  EXPECT_DOUBLE_EQ(s.totalWashTime(), 3.0 + 2.0);
+}
+
+TEST_F(ScheduleModelFixture, PayloadSpanDefaultsToWholePath) {
+  const FluidTask t = makeTask(0, 1);
+  EXPECT_EQ(t.payloadCells().size(), 6u);
+  EXPECT_EQ(t.payloadCells().front(), (Cell{0, 0}));
+  EXPECT_EQ(t.payloadCells().back(), (Cell{5, 0}));
+}
+
+TEST_F(ScheduleModelFixture, PayloadSpanClampsIndices) {
+  FluidTask t = makeTask(0, 1);
+  t.payload_begin = 2;
+  t.payload_end = 4;
+  const auto cells = t.payloadCells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells.front(), (Cell{2, 0}));
+  EXPECT_EQ(cells.back(), (Cell{4, 0}));
+
+  t.payload_begin = -5;  // clamped to 0
+  t.payload_end = 100;   // clamped to last
+  EXPECT_EQ(t.payloadCells().size(), 6u);
+}
+
+TEST_F(ScheduleModelFixture, PayloadInteriorDropsEndpoints) {
+  FluidTask t = makeTask(0, 1);
+  t.payload_begin = 1;
+  t.payload_end = 4;
+  const auto interior = t.payloadInterior();
+  ASSERT_EQ(interior.size(), 2u);
+  EXPECT_EQ(interior.front(), (Cell{2, 0}));
+  EXPECT_EQ(interior.back(), (Cell{3, 0}));
+
+  t.payload_end = 2;  // span of 2: no interior
+  EXPECT_TRUE(t.payloadInterior().empty());
+}
+
+TEST_F(ScheduleModelFixture, WasteBoundFlagPerKind) {
+  FluidTask t = makeTask(0, 1);
+  t.kind = TaskKind::Transport;
+  EXPECT_FALSE(t.isWasteBound());
+  t.kind = TaskKind::ExcessRemoval;
+  EXPECT_TRUE(t.isWasteBound());
+  t.kind = TaskKind::WasteRemoval;
+  EXPECT_TRUE(t.isWasteBound());
+  t.kind = TaskKind::Wash;
+  EXPECT_FALSE(t.isWasteBound());
+}
+
+TEST_F(ScheduleModelFixture, DescribeMentionsKindAndNames) {
+  AssaySchedule s(&graph_, &chip_);
+  s.addOpSchedule({op_, device_, 0.0, 2.0});
+  s.addTask(makeTask(2, 3));
+  const std::string text = s.describe();
+  EXPECT_NE(text.find("transport"), std::string::npos);
+  EXPECT_NE(text.find("T_assay"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdw::assay

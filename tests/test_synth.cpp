@@ -1,0 +1,177 @@
+// Synthesis substrate tests: placement, binding, and end-to-end base
+// schedules validated by the discrete-event validator on every benchmark.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.h"
+#include "sim/validator.h"
+#include "synth/binder.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+
+namespace pdw::synth {
+namespace {
+
+using assay::Benchmark;
+using assay::BenchmarkId;
+
+TEST(Placer, PlacesAllDevicesAndPorts) {
+  arch::DeviceLibrary library = {{arch::DeviceKind::Mixer, 2},
+                                 {arch::DeviceKind::Heater, 1},
+                                 {arch::DeviceKind::Detector, 2}};
+  const auto chip = placeChip(library);
+  EXPECT_EQ(chip->devices().size(), 5u);
+  EXPECT_GE(chip->flowPorts().size(), 2u);
+  EXPECT_GE(chip->wastePorts().size(), 2u);
+  // Devices on the interior, ports on the boundary.
+  for (const arch::Device& d : chip->devices()) {
+    EXPECT_GT(d.cell.x, 0);
+    EXPECT_GT(d.cell.y, 0);
+    EXPECT_LT(d.cell.x, chip->width() - 1);
+    EXPECT_LT(d.cell.y, chip->height() - 1);
+  }
+  for (const arch::Port& p : chip->ports()) {
+    const bool on_boundary = p.cell.x == 0 || p.cell.y == 0 ||
+                             p.cell.x == chip->width() - 1 ||
+                             p.cell.y == chip->height() - 1;
+    EXPECT_TRUE(on_boundary) << p.name;
+  }
+}
+
+TEST(Placer, DevicesAreSpacedApart) {
+  arch::DeviceLibrary library = {{arch::DeviceKind::Mixer, 9}};
+  const auto chip = placeChip(library);
+  for (const arch::Device& a : chip->devices())
+    for (const arch::Device& b : chip->devices())
+      if (a.id < b.id) EXPECT_GE(arch::manhattan(a.cell, b.cell), 3);
+}
+
+TEST(Binder, BalancesLoadAcrossSameKindDevices) {
+  assay::SequencingGraph g;
+  for (int i = 0; i < 6; ++i) g.addOperation(assay::OpKind::Mix, 2);
+  arch::ChipLayout chip(10, 10);
+  const auto m1 = chip.addDevice(arch::DeviceKind::Mixer, {2, 2});
+  const auto m2 = chip.addDevice(arch::DeviceKind::Mixer, {5, 5});
+  const auto binding = bindOperations(g, chip);
+  int on_m1 = 0, on_m2 = 0;
+  for (arch::DeviceId d : binding) {
+    if (d == m1) ++on_m1;
+    if (d == m2) ++on_m2;
+  }
+  EXPECT_EQ(on_m1, 3);
+  EXPECT_EQ(on_m2, 3);
+}
+
+TEST(Binder, RespectsDeviceKinds) {
+  assay::SequencingGraph g;
+  const auto mix = g.addOperation(assay::OpKind::Mix, 2);
+  const auto heat = g.addOperation(assay::OpKind::Heat, 2);
+  arch::ChipLayout chip(10, 10);
+  chip.addDevice(arch::DeviceKind::Heater, {2, 2});
+  chip.addDevice(arch::DeviceKind::Mixer, {5, 5});
+  const auto binding = bindOperations(g, chip);
+  EXPECT_EQ(chip.device(binding[static_cast<std::size_t>(mix)]).kind,
+            arch::DeviceKind::Mixer);
+  EXPECT_EQ(chip.device(binding[static_cast<std::size_t>(heat)]).kind,
+            arch::DeviceKind::Heater);
+}
+
+// End-to-end: the synthesized base schedule of every benchmark passes all
+// validator invariants (precedence, exclusivity, spatial conflicts, paths).
+class SynthesisValidity : public ::testing::TestWithParam<BenchmarkId> {};
+
+TEST_P(SynthesisValidity, BaseScheduleIsValid) {
+  const Benchmark b = assay::makeBenchmark(GetParam());
+  const auto chip = placeChip(b.library);
+  SynthResult result =
+      synthesizeOnChip(*b.graph, placeChip(b.library));
+
+  const sim::ValidationResult v = sim::validateSchedule(result.schedule);
+  EXPECT_TRUE(v.ok()) << b.name << ": " << v.summary();
+
+  // Structural expectations.
+  EXPECT_EQ(static_cast<int>(result.schedule.opSchedules().size()),
+            b.graph->numOps());
+  EXPECT_EQ(result.schedule.washCount(), 0);  // base schedule has no wash
+  EXPECT_GT(result.schedule.completionTime(), 0.0);
+
+  // One transport per dependency edge.
+  for (const assay::Dependency& d : b.graph->dependencies()) {
+    int count = 0;
+    for (const assay::FluidTask& t : result.schedule.tasks())
+      if (t.kind == assay::TaskKind::Transport && t.producer == d.from &&
+          t.consumer == d.to)
+        ++count;
+    EXPECT_EQ(count, 1) << b.name << " edge " << d.from << "->" << d.to;
+  }
+
+  // One output transport per sink op.
+  for (assay::OpId sink : b.graph->sinkOps()) {
+    int count = 0;
+    for (const assay::FluidTask& t : result.schedule.tasks())
+      if (t.kind == assay::TaskKind::Transport && t.producer == sink &&
+          t.consumer == -1)
+        ++count;
+    EXPECT_EQ(count, 1) << b.name << " sink " << sink;
+  }
+
+  // Waste-producing ops got a waste-removal task.
+  for (const assay::Operation& op : b.graph->ops()) {
+    if (!op.produces_waste) continue;
+    int count = 0;
+    for (const assay::FluidTask& t : result.schedule.tasks())
+      if (t.kind == assay::TaskKind::WasteRemoval && t.producer == op.id)
+        ++count;
+    EXPECT_EQ(count, 1) << b.name << " op " << op.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SynthesisValidity,
+    ::testing::ValuesIn(assay::allBenchmarks()),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      std::string name = assay::toString(info.param);
+      for (char& c : name)
+        if (c == ' ' || c == '-') c = '_';
+      return name;
+    });
+
+TEST(Synthesizer, DeterministicAcrossRuns) {
+  const Benchmark b1 = assay::makeBenchmark(BenchmarkId::Ivd);
+  const Benchmark b2 = assay::makeBenchmark(BenchmarkId::Ivd);
+  SynthResult r1 = synthesizeOnChip(*b1.graph, placeChip(b1.library));
+  SynthResult r2 = synthesizeOnChip(*b2.graph, placeChip(b2.library));
+  EXPECT_EQ(r1.schedule.completionTime(), r2.schedule.completionTime());
+  ASSERT_EQ(r1.schedule.tasks().size(), r2.schedule.tasks().size());
+  for (std::size_t i = 0; i < r1.schedule.tasks().size(); ++i) {
+    EXPECT_EQ(r1.schedule.tasks()[i].start, r2.schedule.tasks()[i].start);
+    EXPECT_EQ(r1.schedule.tasks()[i].path.cells(),
+              r2.schedule.tasks()[i].path.cells());
+  }
+}
+
+TEST(Synthesizer, WorksOnMotivatingChip) {
+  const Benchmark b = assay::makeBenchmark(BenchmarkId::Pcr);
+  SynthResult result =
+      synthesizeOnChip(*b.graph, assay::makeMotivatingChip());
+  const sim::ValidationResult v = sim::validateSchedule(result.schedule);
+  EXPECT_TRUE(v.ok()) << v.summary();
+}
+
+TEST(Synthesizer, TransportPayloadSpansDevices) {
+  const Benchmark b = assay::makeBenchmark(BenchmarkId::Pcr);
+  SynthResult result = synthesizeOnChip(*b.graph, placeChip(b.library));
+  const auto& chip = *result.chip;
+  for (const assay::FluidTask& t : result.schedule.tasks()) {
+    if (t.kind != assay::TaskKind::Transport || t.producer < 0 ||
+        t.consumer < 0)
+      continue;
+    const auto payload = t.payloadCells();
+    ASSERT_GE(payload.size(), 1u);
+    // Payload starts at the producer's device and ends at the consumer's.
+    EXPECT_TRUE(chip.isDeviceCell(payload.front()));
+    EXPECT_TRUE(chip.isDeviceCell(payload.back()));
+  }
+}
+
+}  // namespace
+}  // namespace pdw::synth

@@ -1,0 +1,308 @@
+// Contamination tracking and Type-1/2/3 necessity analysis, tested on
+// hand-built micro-schedules that mirror the paper's §II-A examples.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "wash/contamination.h"
+#include "wash/necessity.h"
+#include "wash/wash_op.h"
+
+namespace pdw::wash {
+namespace {
+
+using arch::Cell;
+
+// Fixture chip: one corridor y=1 from a flow port (0,1) to a waste port
+// (6,1), with two devices on it.
+//
+//   i . d1 . d2 . o     (x = 0..6, y = 1)
+class WashFixture : public ::testing::Test {
+ protected:
+  WashFixture() : chip_(7, 3, 3.0), graph_("micro") {
+    chip_.addFlowPort({0, 1}, "in");
+    d1_ = chip_.addDevice(arch::DeviceKind::Mixer, {2, 1}, "d1");
+    d2_ = chip_.addDevice(arch::DeviceKind::Heater, {4, 1}, "d2");
+    chip_.addWastePort({6, 1}, "out");
+    r1_ = graph_.fluids().addReagent("r1");
+    r2_ = graph_.fluids().addReagent("r2");
+  }
+
+  /// Corridor path covering x in [from, to] at y=1.
+  arch::FlowPath corridor(int from, int to) {
+    std::vector<Cell> cells;
+    if (from <= to)
+      for (int x = from; x <= to; ++x) cells.push_back({x, 1});
+    else
+      for (int x = from; x >= to; --x) cells.push_back({x, 1});
+    return arch::FlowPath(cells);
+  }
+
+  assay::TaskId addTransport(assay::AssaySchedule& s, double start,
+                             double end, assay::FluidId fluid,
+                             int payload_begin, int payload_end,
+                             assay::OpId producer = -1,
+                             assay::OpId consumer = -1) {
+    assay::FluidTask t;
+    t.kind = assay::TaskKind::Transport;
+    t.fluid = fluid;
+    t.path = corridor(0, 6);
+    t.payload_begin = payload_begin;
+    t.payload_end = payload_end;
+    t.start = start;
+    t.end = end;
+    t.producer = producer;
+    t.consumer = consumer;
+    return s.addTask(t);
+  }
+
+  assay::TaskId addRemoval(assay::AssaySchedule& s, double start, double end,
+                           assay::FluidId fluid) {
+    assay::FluidTask t;
+    t.kind = assay::TaskKind::ExcessRemoval;
+    t.fluid = fluid;
+    t.path = corridor(0, 6);
+    t.payload_begin = 1;  // plug from cell (1,1) to the waste port
+    t.payload_end = -1;
+    t.start = start;
+    t.end = end;
+    return s.addTask(t);
+  }
+
+  assay::TaskId addWash(assay::AssaySchedule& s, double start, double end) {
+    assay::FluidTask t;
+    t.kind = assay::TaskKind::Wash;
+    t.fluid = graph_.fluids().buffer();
+    t.path = corridor(0, 6);
+    t.start = start;
+    t.end = end;
+    return s.addTask(t);
+  }
+
+  arch::ChipLayout chip_;
+  assay::SequencingGraph graph_;
+  arch::DeviceId d1_ = -1, d2_ = -1;
+  assay::FluidId r1_ = -1, r2_ = -1;
+};
+
+TEST_F(WashFixture, TransportContaminatesPayloadInterior) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  // Payload from the port (index 0) to d1 (index 2).
+  addTransport(s, 0, 2, r1_, 0, 2);
+  ContaminationTracker tracker(s);
+
+  // Channel cell (1,1) has a critical, depositing use.
+  const auto& uses = tracker.usesOf({1, 1});
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_TRUE(uses[0].critical);
+  EXPECT_TRUE(uses[0].deposits);
+  EXPECT_EQ(uses[0].fluid, r1_);
+  // The port cell is never tracked.
+  EXPECT_TRUE(tracker.usesOf({0, 1}).empty());
+  // Cells beyond the payload (air displacement) are untouched.
+  EXPECT_TRUE(tracker.usesOf({3, 1}).empty());
+  EXPECT_TRUE(tracker.usesOf({5, 1}).empty());
+}
+
+TEST_F(WashFixture, ZeroDurationTaskIsIgnored) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addRemoval(s, 5, 5, r1_);  // integrated removal: start == end
+  ContaminationTracker tracker(s);
+  EXPECT_TRUE(tracker.usedCells().empty());
+}
+
+TEST_F(WashFixture, OperationContaminatesItsDevice) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  const assay::OpId op = graph_.addOperation(assay::OpKind::Mix, 3, {r1_});
+  s.addOpSchedule({op, d1_, 2.0, 5.0});
+  ContaminationTracker tracker(s);
+  const auto& uses = tracker.usesOf({2, 1});
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_TRUE(uses[0].deposits);
+  EXPECT_EQ(uses[0].fluid, graph_.op(op).result);
+}
+
+TEST_F(WashFixture, Type1NeverReusedNeedsNoWash) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);  // contaminates (1,1), never reused
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  EXPECT_TRUE(r.targets.empty());
+  EXPECT_GT(r.stats.skipped_type1, 0);
+}
+
+TEST_F(WashFixture, Type2SameFluidNeedsNoWash) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);
+  addTransport(s, 4, 6, r1_, 0, 2);  // same fluid over the same cells
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  EXPECT_TRUE(r.targets.empty());
+  EXPECT_GT(r.stats.skipped_type2, 0);
+}
+
+TEST_F(WashFixture, Type3WasteBoundReuseNeedsNoWash) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);  // contaminate (1,1) with r1
+  addRemoval(s, 4, 6, r2_);          // waste-bound flush over it
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  EXPECT_TRUE(r.targets.empty());
+  EXPECT_GT(r.stats.skipped_type3, 0);
+}
+
+TEST_F(WashFixture, CrossFluidReuseNeedsWash) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  const auto t1 = addTransport(s, 0, 2, r1_, 0, 2);
+  const auto t2 = addTransport(s, 5, 7, r2_, 0, 2);  // r2 over r1 residue
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  // Both the channel cell (1,1) and the device cell (2,1) carry r1 residue
+  // that would corrupt the r2 plug.
+  ASSERT_EQ(r.targets.size(), 2u);
+  const WashTarget& channel = r.targets[0].cell == (Cell{1, 1})
+                                  ? r.targets[0]
+                                  : r.targets[1];
+  EXPECT_EQ(channel.cell, (Cell{1, 1}));
+  EXPECT_EQ(channel.residue, r1_);
+  EXPECT_EQ(channel.contaminating_task, t1);
+  EXPECT_EQ(channel.blocking_task, t2);
+  EXPECT_DOUBLE_EQ(channel.ready, 2.0);
+  EXPECT_DOUBLE_EQ(channel.deadline, 5.0);
+}
+
+TEST_F(WashFixture, WashClearsResidue) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);
+  addWash(s, 3, 4);
+  addTransport(s, 5, 7, r2_, 0, 2);  // clean after wash
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  EXPECT_TRUE(r.targets.empty());
+}
+
+TEST_F(WashFixture, ResidueAfterWasteFlushStillTracked) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);
+  addRemoval(s, 3, 4, r2_);          // Type 3: no wash for r1 residue...
+  addTransport(s, 6, 8, r1_, 0, 2);  // ...but now r2 residue blocks r1!
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  ASSERT_GE(r.targets.size(), 1u);
+  EXPECT_EQ(r.targets[0].residue, r2_);
+}
+
+TEST_F(WashFixture, DisablingType2CreatesTargets) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);
+  addTransport(s, 4, 6, r1_, 0, 2);
+  ContaminationTracker tracker(s);
+  NecessityOptions options;
+  options.enable_type2 = false;
+  NecessityResult r = analyzeWashNecessity(tracker, options);
+  EXPECT_FALSE(r.targets.empty());
+}
+
+TEST_F(WashFixture, DisablingType1CreatesOpenDeadlineTargets) {
+  assay::AssaySchedule s(&graph_, &chip_);
+  addTransport(s, 0, 2, r1_, 0, 2);
+  ContaminationTracker tracker(s);
+  NecessityOptions options;
+  options.enable_type1 = false;
+  NecessityResult r = analyzeWashNecessity(tracker, options);
+  // Channel cell (1,1) and device cell (2,1) both hold dead residue.
+  ASSERT_EQ(r.targets.size(), 2u);
+  for (const WashTarget& t : r.targets) EXPECT_EQ(t.blocking_task, -1);
+}
+
+TEST_F(WashFixture, DeviceResidueExemptWhenInputOfConsumer) {
+  // Residue of a parent's result in the consumer's device is harmless when
+  // that result is an input of the consumer (generalized Type 2).
+  assay::AssaySchedule s(&graph_, &chip_);
+  const assay::OpId parent = graph_.addOperation(assay::OpKind::Mix, 2, {r1_});
+  const assay::OpId child = graph_.addOperation(assay::OpKind::Heat, 2);
+  graph_.addDependency(parent, child);
+  s.addOpSchedule({parent, d1_, 0.0, 2.0});
+  s.addOpSchedule({child, d2_, 6.0, 8.0});
+  // Transport parent result d1 -> d2 (payload indices 2..4 on corridor).
+  addTransport(s, 3, 5, graph_.op(parent).result, 2, 4, parent, child);
+  ContaminationTracker tracker(s);
+  NecessityResult r = analyzeWashNecessity(tracker);
+  // d1's residue (parent result) is exempt at d2?? No: check that the d2
+  // device cell got no target (the incoming fluid IS the parent's result
+  // deposited... the device d2 had no prior residue). Assert no targets at
+  // all: the only residues are the parent result along (3,1) and at both
+  // devices, never reused by a conflicting fluid.
+  EXPECT_TRUE(r.targets.empty());
+}
+
+TEST(WashOperation, DurationFollowsEq17) {
+  WashOperation op;
+  op.path = arch::FlowPath({{0, 0}, {1, 0}, {2, 0}, {3, 0}});  // 3 edges
+  WashParams params;
+  params.flow_velocity_mm_s = 10.0;
+  params.dissolution_s = 2.0;
+  // L = 3 * 3mm = 9mm; 9/10 + 2 = 2.9 s.
+  EXPECT_NEAR(op.duration(params, 3.0), 2.9, 1e-9);
+}
+
+TEST(WashOperation, WindowRefresh) {
+  WashOperation op;
+  WashTarget a, b;
+  a.ready = 2.0;
+  a.deadline = 10.0;
+  a.blocking_task = 5;
+  b.ready = 4.0;
+  b.deadline = 8.0;
+  b.blocking_task = 7;
+  op.targets = {a, b};
+  op.refreshWindow();
+  EXPECT_DOUBLE_EQ(op.ready, 4.0);
+  EXPECT_DOUBLE_EQ(op.deadline, 8.0);
+}
+
+TEST(ClusterTargets, MergesOverlappingWindows) {
+  std::vector<WashTarget> targets;
+  for (int i = 0; i < 3; ++i) {
+    WashTarget t;
+    t.cell = {i, 0};
+    t.ready = 1.0;
+    t.deadline = 20.0;
+    t.blocking_task = 9;
+    targets.push_back(t);
+  }
+  const auto ops = clusterTargets(targets);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].targets.size(), 3u);
+}
+
+TEST(ClusterTargets, SplitsDisjointWindows) {
+  WashTarget a, b;
+  a.cell = {0, 0};
+  a.ready = 0.0;
+  a.deadline = 3.0;
+  a.blocking_task = 1;
+  b.cell = {1, 0};
+  b.ready = 10.0;
+  b.deadline = 20.0;
+  b.blocking_task = 2;
+  const auto ops = clusterTargets({a, b});
+  EXPECT_EQ(ops.size(), 2u);
+}
+
+TEST(ClusterTargets, SplitsSpatiallyDistantTargets) {
+  WashTarget a, b;
+  a.cell = {0, 0};
+  a.ready = 0.0;
+  a.deadline = 100.0;
+  a.blocking_task = 1;
+  b.cell = {40, 0};  // farther than max_span
+  b.ready = 0.0;
+  b.deadline = 100.0;
+  b.blocking_task = 2;
+  const auto ops = clusterTargets({a, b});
+  EXPECT_EQ(ops.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdw::wash
