@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/pdw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wash/CMakeFiles/pdw_wash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pdw_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/assay/CMakeFiles/pdw_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/pdw_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_solver.dir/bench_ilp_solver.cpp.o"
+  "CMakeFiles/bench_ilp_solver.dir/bench_ilp_solver.cpp.o.d"
+  "bench_ilp_solver"
+  "bench_ilp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

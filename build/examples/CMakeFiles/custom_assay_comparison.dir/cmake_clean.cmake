@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_assay_comparison.dir/custom_assay_comparison.cpp.o"
+  "CMakeFiles/custom_assay_comparison.dir/custom_assay_comparison.cpp.o.d"
+  "custom_assay_comparison"
+  "custom_assay_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_assay_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

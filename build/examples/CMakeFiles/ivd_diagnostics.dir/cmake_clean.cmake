@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivd_diagnostics.dir/ivd_diagnostics.cpp.o"
+  "CMakeFiles/ivd_diagnostics.dir/ivd_diagnostics.cpp.o.d"
+  "ivd_diagnostics"
+  "ivd_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivd_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_cli.dir/pdw_cli.cpp.o"
+  "CMakeFiles/pdw_cli.dir/pdw_cli.cpp.o.d"
+  "pdw_cli"
+  "pdw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cell.cpp" "src/arch/CMakeFiles/pdw_arch.dir/cell.cpp.o" "gcc" "src/arch/CMakeFiles/pdw_arch.dir/cell.cpp.o.d"
+  "/root/repo/src/arch/chip.cpp" "src/arch/CMakeFiles/pdw_arch.dir/chip.cpp.o" "gcc" "src/arch/CMakeFiles/pdw_arch.dir/chip.cpp.o.d"
+  "/root/repo/src/arch/path.cpp" "src/arch/CMakeFiles/pdw_arch.dir/path.cpp.o" "gcc" "src/arch/CMakeFiles/pdw_arch.dir/path.cpp.o.d"
+  "/root/repo/src/arch/router.cpp" "src/arch/CMakeFiles/pdw_arch.dir/router.cpp.o" "gcc" "src/arch/CMakeFiles/pdw_arch.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pdw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_arch.dir/cell.cpp.o"
+  "CMakeFiles/pdw_arch.dir/cell.cpp.o.d"
+  "CMakeFiles/pdw_arch.dir/chip.cpp.o"
+  "CMakeFiles/pdw_arch.dir/chip.cpp.o.d"
+  "CMakeFiles/pdw_arch.dir/path.cpp.o"
+  "CMakeFiles/pdw_arch.dir/path.cpp.o.d"
+  "CMakeFiles/pdw_arch.dir/router.cpp.o"
+  "CMakeFiles/pdw_arch.dir/router.cpp.o.d"
+  "libpdw_arch.a"
+  "libpdw_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

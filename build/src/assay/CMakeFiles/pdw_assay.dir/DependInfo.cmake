@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assay/benchmarks.cpp" "src/assay/CMakeFiles/pdw_assay.dir/benchmarks.cpp.o" "gcc" "src/assay/CMakeFiles/pdw_assay.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/assay/fluid.cpp" "src/assay/CMakeFiles/pdw_assay.dir/fluid.cpp.o" "gcc" "src/assay/CMakeFiles/pdw_assay.dir/fluid.cpp.o.d"
+  "/root/repo/src/assay/schedule.cpp" "src/assay/CMakeFiles/pdw_assay.dir/schedule.cpp.o" "gcc" "src/assay/CMakeFiles/pdw_assay.dir/schedule.cpp.o.d"
+  "/root/repo/src/assay/sequencing_graph.cpp" "src/assay/CMakeFiles/pdw_assay.dir/sequencing_graph.cpp.o" "gcc" "src/assay/CMakeFiles/pdw_assay.dir/sequencing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/pdw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

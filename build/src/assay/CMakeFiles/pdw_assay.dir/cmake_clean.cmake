@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_assay.dir/benchmarks.cpp.o"
+  "CMakeFiles/pdw_assay.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/pdw_assay.dir/fluid.cpp.o"
+  "CMakeFiles/pdw_assay.dir/fluid.cpp.o.d"
+  "CMakeFiles/pdw_assay.dir/schedule.cpp.o"
+  "CMakeFiles/pdw_assay.dir/schedule.cpp.o.d"
+  "CMakeFiles/pdw_assay.dir/sequencing_graph.cpp.o"
+  "CMakeFiles/pdw_assay.dir/sequencing_graph.cpp.o.d"
+  "libpdw_assay.a"
+  "libpdw_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_baseline.dir/dawo.cpp.o"
+  "CMakeFiles/pdw_baseline.dir/dawo.cpp.o.d"
+  "libpdw_baseline.a"
+  "libpdw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

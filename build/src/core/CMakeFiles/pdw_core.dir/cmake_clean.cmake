@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_core.dir/pathdriver_wash.cpp.o"
+  "CMakeFiles/pdw_core.dir/pathdriver_wash.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/schedule_ilp.cpp.o"
+  "CMakeFiles/pdw_core.dir/schedule_ilp.cpp.o.d"
+  "CMakeFiles/pdw_core.dir/wash_path_ilp.cpp.o"
+  "CMakeFiles/pdw_core.dir/wash_path_ilp.cpp.o.d"
+  "libpdw_core.a"
+  "libpdw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/pdw_ilp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/pdw_ilp.dir/expr.cpp.o"
+  "CMakeFiles/pdw_ilp.dir/expr.cpp.o.d"
+  "CMakeFiles/pdw_ilp.dir/model.cpp.o"
+  "CMakeFiles/pdw_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/pdw_ilp.dir/presolve.cpp.o"
+  "CMakeFiles/pdw_ilp.dir/presolve.cpp.o.d"
+  "CMakeFiles/pdw_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/pdw_ilp.dir/simplex.cpp.o.d"
+  "CMakeFiles/pdw_ilp.dir/solver.cpp.o"
+  "CMakeFiles/pdw_ilp.dir/solver.cpp.o.d"
+  "libpdw_ilp.a"
+  "libpdw_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

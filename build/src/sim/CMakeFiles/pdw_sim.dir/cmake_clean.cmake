@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_sim.dir/gantt.cpp.o"
+  "CMakeFiles/pdw_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/pdw_sim.dir/metrics.cpp.o"
+  "CMakeFiles/pdw_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/pdw_sim.dir/validator.cpp.o"
+  "CMakeFiles/pdw_sim.dir/validator.cpp.o.d"
+  "libpdw_sim.a"
+  "libpdw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

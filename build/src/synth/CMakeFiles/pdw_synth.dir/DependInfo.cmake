@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/binder.cpp" "src/synth/CMakeFiles/pdw_synth.dir/binder.cpp.o" "gcc" "src/synth/CMakeFiles/pdw_synth.dir/binder.cpp.o.d"
+  "/root/repo/src/synth/placer.cpp" "src/synth/CMakeFiles/pdw_synth.dir/placer.cpp.o" "gcc" "src/synth/CMakeFiles/pdw_synth.dir/placer.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/synth/CMakeFiles/pdw_synth.dir/synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/pdw_synth.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assay/CMakeFiles/pdw_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_synth.dir/binder.cpp.o"
+  "CMakeFiles/pdw_synth.dir/binder.cpp.o.d"
+  "CMakeFiles/pdw_synth.dir/placer.cpp.o"
+  "CMakeFiles/pdw_synth.dir/placer.cpp.o.d"
+  "CMakeFiles/pdw_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/pdw_synth.dir/synthesizer.cpp.o.d"
+  "libpdw_synth.a"
+  "libpdw_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_util.dir/logging.cpp.o"
+  "CMakeFiles/pdw_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pdw_util.dir/rng.cpp.o"
+  "CMakeFiles/pdw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pdw_util.dir/strings.cpp.o"
+  "CMakeFiles/pdw_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pdw_util.dir/table.cpp.o"
+  "CMakeFiles/pdw_util.dir/table.cpp.o.d"
+  "libpdw_util.a"
+  "libpdw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

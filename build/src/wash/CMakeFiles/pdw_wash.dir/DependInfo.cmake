@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wash/contamination.cpp" "src/wash/CMakeFiles/pdw_wash.dir/contamination.cpp.o" "gcc" "src/wash/CMakeFiles/pdw_wash.dir/contamination.cpp.o.d"
+  "/root/repo/src/wash/necessity.cpp" "src/wash/CMakeFiles/pdw_wash.dir/necessity.cpp.o" "gcc" "src/wash/CMakeFiles/pdw_wash.dir/necessity.cpp.o.d"
+  "/root/repo/src/wash/rescheduler.cpp" "src/wash/CMakeFiles/pdw_wash.dir/rescheduler.cpp.o" "gcc" "src/wash/CMakeFiles/pdw_wash.dir/rescheduler.cpp.o.d"
+  "/root/repo/src/wash/wash_op.cpp" "src/wash/CMakeFiles/pdw_wash.dir/wash_op.cpp.o" "gcc" "src/wash/CMakeFiles/pdw_wash.dir/wash_op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assay/CMakeFiles/pdw_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_wash.dir/contamination.cpp.o"
+  "CMakeFiles/pdw_wash.dir/contamination.cpp.o.d"
+  "CMakeFiles/pdw_wash.dir/necessity.cpp.o"
+  "CMakeFiles/pdw_wash.dir/necessity.cpp.o.d"
+  "CMakeFiles/pdw_wash.dir/rescheduler.cpp.o"
+  "CMakeFiles/pdw_wash.dir/rescheduler.cpp.o.d"
+  "CMakeFiles/pdw_wash.dir/wash_op.cpp.o"
+  "CMakeFiles/pdw_wash.dir/wash_op.cpp.o.d"
+  "libpdw_wash.a"
+  "libpdw_wash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_wash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdw_wash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/pdw_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_assay.cpp" "tests/CMakeFiles/pdw_tests.dir/test_assay.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_assay.cpp.o.d"
+  "/root/repo/tests/test_end_to_end.cpp" "tests/CMakeFiles/pdw_tests.dir/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_gantt_metrics.cpp" "tests/CMakeFiles/pdw_tests.dir/test_gantt_metrics.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_gantt_metrics.cpp.o.d"
+  "/root/repo/tests/test_ilp_mip.cpp" "tests/CMakeFiles/pdw_tests.dir/test_ilp_mip.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_ilp_mip.cpp.o.d"
+  "/root/repo/tests/test_ilp_model_presolve.cpp" "tests/CMakeFiles/pdw_tests.dir/test_ilp_model_presolve.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_ilp_model_presolve.cpp.o.d"
+  "/root/repo/tests/test_ilp_simplex.cpp" "tests/CMakeFiles/pdw_tests.dir/test_ilp_simplex.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_ilp_simplex.cpp.o.d"
+  "/root/repo/tests/test_ilp_warm_start.cpp" "tests/CMakeFiles/pdw_tests.dir/test_ilp_warm_start.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_ilp_warm_start.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pdw_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rescheduler.cpp" "tests/CMakeFiles/pdw_tests.dir/test_rescheduler.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_rescheduler.cpp.o.d"
+  "/root/repo/tests/test_schedule_ilp.cpp" "tests/CMakeFiles/pdw_tests.dir/test_schedule_ilp.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_schedule_ilp.cpp.o.d"
+  "/root/repo/tests/test_schedule_model.cpp" "tests/CMakeFiles/pdw_tests.dir/test_schedule_model.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_schedule_model.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/pdw_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/pdw_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/pdw_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_wash_analysis.cpp" "tests/CMakeFiles/pdw_tests.dir/test_wash_analysis.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_wash_analysis.cpp.o.d"
+  "/root/repo/tests/test_wash_path_routing.cpp" "tests/CMakeFiles/pdw_tests.dir/test_wash_path_routing.cpp.o" "gcc" "tests/CMakeFiles/pdw_tests.dir/test_wash_path_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/pdw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wash/CMakeFiles/pdw_wash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pdw_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/assay/CMakeFiles/pdw_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/pdw_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
