@@ -1,0 +1,86 @@
+// Parallel-runtime scaling: full PDW wall-clock on the largest Table-II
+// benchmark (Synthetic3) at 1/2/4/8 execution lanes, plus a warm-route-cache
+// second pass. Custom main (not google-benchmark): one timed run per thread
+// count is what we want — the workload is tens of seconds, and the point is
+// the speedup table and the plan-identity check, not statistics.
+//
+// Determinism check included: the describe() dump of every plan must be
+// byte-identical to the single-threaded one.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assay/benchmarks.h"
+#include "core/pipeline.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace pdw;
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const assay::Benchmark b =
+      assay::makeBenchmark(assay::BenchmarkId::Synthetic3);
+  synth::SynthResult base =
+      synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
+
+  std::printf("benchmark: %s (%d ops, %zu tasks)\n", b.name.c_str(),
+              b.graph->numOps(), base.schedule.tasks().size());
+  std::printf("hardware_concurrency: %d\n",
+              util::ThreadPool::hardwareConcurrency());
+  std::printf("(speedup > 1 requires as many physical cores as lanes)\n\n");
+
+  std::printf("%8s %12s %10s %10s %12s %s\n", "threads", "wall [s]",
+              "speedup", "routing[s]", "schedule[s]", "plan");
+
+  std::string reference_plan;
+  double t1 = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    Pipeline pipeline(core::PdwOptions{}.withThreads(threads));
+    const auto t0 = Clock::now();
+    const PdwResult r = pipeline.run(base.schedule);
+    const double wall = seconds(t0);
+
+    const std::string plan = r.plan.schedule.describe();
+    if (threads == 1) {
+      reference_plan = plan;
+      t1 = wall;
+    }
+    const bool identical = plan == reference_plan;
+    std::printf("%8d %12.2f %9.2fx %10.2f %12.2f %s\n", threads, wall,
+                t1 / wall, r.timings.routing_s, r.timings.scheduling_s,
+                identical ? "identical" : "DIFFERS (BUG)");
+    if (!identical) return 1;
+  }
+
+  // Warm-cache pass: a second run() on the same Pipeline hits the route
+  // cache for every wash-path problem.
+  std::printf("\nwarm route cache (threads=1):\n");
+  Pipeline pipeline(core::PdwOptions{}.withThreads(1));
+  for (int pass = 1; pass <= 2; ++pass) {
+    const auto t0 = Clock::now();
+    const PdwResult r = pipeline.run(base.schedule);
+    std::printf("  pass %d: %6.2f s  routing %5.2f s  cache %lld/%lld hits "
+                "(%.0f%%)\n",
+                pass, seconds(t0), r.timings.routing_s,
+                static_cast<long long>(r.cache.hits),
+                static_cast<long long>(r.cache.hits + r.cache.misses),
+                r.cache.hitRate() * 100.0);
+    if (r.plan.schedule.describe() != reference_plan) {
+      std::printf("  plan DIFFERS (BUG)\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,12 +3,13 @@
 //   * DAWO            (demand-driven baseline)
 //   * PDW, greedy     (necessity analysis + BFS paths + greedy insertion)
 //   * PDW, full       (both ILP stages + removal integration)
-// Demonstrates the knobs a downstream user can turn (PdwOptions).
+// Demonstrates the knobs a downstream user can turn (PdwOptions' builder
+// setters) through the pdw::Pipeline facade.
 #include <iostream>
 
 #include "assay/sequencing_graph.h"
 #include "baseline/dawo.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/metrics.h"
 #include "synth/placer.h"
 #include "synth/synthesizer.h"
@@ -68,20 +69,19 @@ int main() {
                     r.integrated_removals});
   }
   {
-    core::PdwOptions options;
-    options.use_ilp_paths = false;
-    options.use_ilp_schedule = false;
-    const wash::WashPlanResult r =
-        core::runPathDriverWash(base.schedule, options);
+    Pipeline greedy(
+        core::PdwOptions{}.withoutIlpPaths().withoutIlpSchedule());
+    const PdwResult r = greedy.run(base.schedule);
     rows.push_back({"PDW (greedy)",
-                    sim::computeMetrics(r.schedule, base.schedule),
-                    r.integrated_removals});
+                    sim::computeMetrics(r.schedule(), base.schedule),
+                    r.plan.integrated_removals});
   }
   {
-    const wash::WashPlanResult r = core::runPathDriverWash(base.schedule);
+    Pipeline full;
+    const PdwResult r = full.run(base.schedule);
     rows.push_back({"PDW (full ILP)",
-                    sim::computeMetrics(r.schedule, base.schedule),
-                    r.integrated_removals});
+                    sim::computeMetrics(r.schedule(), base.schedule),
+                    r.plan.integrated_removals});
   }
 
   util::Table table({"Method", "N_wash", "L_wash (mm)", "T_delay (s)",

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "assay/benchmarks.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/metrics.h"
 #include "sim/validator.h"
 #include "synth/placer.h"
@@ -41,7 +41,9 @@ int main() {
   std::cout << "Exemptions applied: " << necessity.stats.describe()
             << "\n\n";
 
-  const wash::WashPlanResult plan = core::runPathDriverWash(base.schedule);
+  Pipeline pipeline;
+  const PdwResult result = pipeline.run(base.schedule);
+  const wash::WashPlanResult& plan = result.plan;
   const sim::WashMetrics metrics =
       sim::computeMetrics(plan.schedule, base.schedule);
 

@@ -11,7 +11,7 @@
 
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/metrics.h"
 #include "synth/synthesizer.h"
 #include "util/strings.h"
@@ -61,7 +61,8 @@ int main() {
   std::cout << "  (Type 1: never reused; Type 2: same-fluid reuse; "
                "Type 3: waste-bound reuse)\n\n";
 
-  const wash::WashPlanResult pdw = core::runPathDriverWash(base.schedule);
+  Pipeline pipeline;
+  const wash::WashPlanResult pdw = pipeline.run(base.schedule).plan;
   const wash::WashPlanResult dawo = baseline::runDawo(base.schedule);
 
   std::cout << "PDW wash paths:\n";

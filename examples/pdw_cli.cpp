@@ -15,7 +15,7 @@
 
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/gantt.h"
 #include "sim/metrics.h"
 #include "sim/validator.h"
@@ -47,6 +47,8 @@ void printUsage() {
       "  --method M         pdw | dawo | both (default both)\n"
       "  --alpha/--beta/--gamma X   objective weights (default .3/.3/.4)\n"
       "  --time-limit S     scheduling-ILP budget in seconds (default 8)\n"
+      "  --threads N        execution lanes (default 0 = hardware\n"
+      "                     concurrency; results are identical for any N)\n"
       "  --no-type1|2|3     disable a necessity exemption (ablation)\n"
       "  --no-integration   disable removal integration\n"
       "  --no-ilp-paths     BFS wash paths instead of the ILP\n"
@@ -102,7 +104,11 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       if (arg == "--alpha") options.pdw.alpha = x;
       else if (arg == "--beta") options.pdw.beta = x;
       else if (arg == "--gamma") options.pdw.gamma = x;
-      else options.pdw.schedule_solver.time_limit_seconds = x;
+      else options.pdw.withSolverBudget(x, 60000);
+    } else if (arg == "--threads") {
+      const char* value = next(i);
+      if (!value) return std::nullopt;
+      options.pdw.withThreads(std::atoi(value));
     } else if (arg == "--no-type1") {
       options.pdw.necessity.enable_type1 = false;
     } else if (arg == "--no-type2") {
@@ -176,8 +182,10 @@ int main(int argc, char** argv) {
       }
     };
 
-    if (options.run_pdw)
-      report("PDW", core::runPathDriverWash(base.schedule, options.pdw));
+    if (options.run_pdw) {
+      Pipeline pipeline(options.pdw);
+      report("PDW", pipeline.run(base.schedule).plan);
+    }
     if (options.run_dawo) report("DAWO", baseline::runDawo(base.schedule));
   }
 

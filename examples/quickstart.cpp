@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "assay/sequencing_graph.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/metrics.h"
 #include "synth/synthesizer.h"
 
@@ -43,14 +43,23 @@ int main() {
   std::cout << "Base schedule (no washes):\n"
             << base.schedule.describe() << "\n";
 
-  // 3. PathDriver-Wash: necessity analysis, wash-path ILP, scheduling ILP.
-  const wash::WashPlanResult plan = core::runPathDriverWash(base.schedule);
-  std::cout << "Washed schedule:\n" << plan.schedule.describe() << "\n";
+  // 3. PathDriver-Wash: necessity analysis, wash-path ILP, scheduling ILP —
+  //    all behind the Pipeline facade, which also reports stage timings.
+  Pipeline pipeline;
+  const PdwResult result = pipeline.run(base.schedule);
+  std::cout << "Washed schedule:\n" << result.schedule().describe() << "\n";
 
   const sim::WashMetrics metrics =
-      sim::computeMetrics(plan.schedule, base.schedule);
-  std::cout << "Necessity analysis: " << plan.necessity.describe() << "\n";
+      sim::computeMetrics(result.schedule(), base.schedule);
+  std::cout << "Necessity analysis: " << result.plan.necessity.describe()
+            << "\n";
   std::cout << "Result: " << metrics.describe() << "\n";
-  std::cout << "Integrated removals: " << plan.integrated_removals << "\n";
+  std::cout << "Integrated removals: " << result.plan.integrated_removals
+            << "\n";
+  std::cout << "Stage timings [s]: analysis " << result.timings.analysis_s
+            << ", clustering " << result.timings.clustering_s << ", routing "
+            << result.timings.routing_s << ", scheduling "
+            << result.timings.scheduling_s << " (threads " << result.threads
+            << ")\n";
   return 0;
 }

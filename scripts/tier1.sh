@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite in a normal build, then the
+# parallel-runtime tests (determinism + route cache) under ThreadSanitizer.
+#
+#   scripts/tier1.sh            # both stages
+#   PDW_SKIP_TSAN=1 scripts/tier1.sh   # normal build + ctest only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${PDW_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== tier-1: TSAN stage skipped (PDW_SKIP_TSAN=1) =="
+  exit 0
+fi
+
+echo "== tier-1: ThreadSanitizer build + parallel-runtime tests =="
+cmake -B build-tsan -S . -DPDW_TSAN=ON >/dev/null
+cmake --build build-tsan -j --target pdw_tests
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/pdw_tests \
+  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*'
+
+echo "== tier-1: OK =="

@@ -1,103 +1,16 @@
 #include "core/pathdriver_wash.h"
 
-#include <chrono>
-
-#include "util/logging.h"
-#include "wash/contamination.h"
-#include "wash/rescheduler.h"
+#include "core/pipeline.h"
 
 namespace pdw::core {
 
-namespace {
-using Clock = std::chrono::steady_clock;
-}
-
 wash::WashPlanResult runPathDriverWash(const assay::AssaySchedule& base,
                                        const PdwOptions& options) {
-  const auto start = Clock::now();
-  wash::WashPlanResult result;
-  result.method = "PDW";
-
-  // 1. Contamination replay + necessity analysis (eqs. 9-11).
-  const wash::ContaminationTracker tracker(base);
-  wash::NecessityResult necessity =
-      analyzeWashNecessity(tracker, options.necessity);
-  result.necessity = necessity.stats;
-
-  if (necessity.targets.empty()) {
-    result.schedule = base;
-    result.proven_optimal = true;
-    result.solve_seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    return result;
-  }
-
-  // 2. Cluster targets into wash operations.
-  std::vector<wash::WashOperation> washes =
-      clusterTargets(std::move(necessity.targets), options.cluster);
-
-  // 3. Route a wash path per operation (eqs. 12-15).
-  for (wash::WashOperation& w : washes) {
-    std::optional<arch::FlowPath> path;
-    if (options.use_ilp_paths) {
-      path = routeWashPathIlp(base.chip(), w.targetCells(), options.path);
-    } else {
-      path = routeWashPathHeuristic(base.chip(), w.targetCells());
-    }
-    if (!path) {
-      // Last resort: the heuristic on the whole grid. Target cells are on
-      // used flow paths, so ports can always reach them.
-      path = routeWashPathHeuristic(base.chip(), w.targetCells());
-    }
-    PDW_LOG(Debug, "pdw") << "wash path ("
-                          << (path ? static_cast<int>(path->size()) : -1)
-                          << " cells) for " << w.targets.size()
-                          << " targets";
-    if (path) w.path = *path;
-  }
-  // Drop unroutable operations only if truly unreachable (logged loudly:
-  // this indicates a malformed chip).
-  std::vector<wash::WashOperation> routed;
-  for (wash::WashOperation& w : washes) {
-    if (w.path.empty()) {
-      PDW_LOG(Error, "pdw") << "wash operation unroutable; dropping "
-                            << w.targets.size() << " targets";
-      continue;
-    }
-    routed.push_back(std::move(w));
-  }
-
-  // 4. Re-time everything with the scheduling ILP (eqs. 1-8, 16-26).
-  bool scheduled = false;
-  if (options.use_ilp_schedule) {
-    ScheduleIlpOptions ilp_options;
-    ilp_options.alpha = options.alpha;
-    ilp_options.beta = options.beta;
-    ilp_options.gamma = options.gamma;
-    ilp_options.wash = options.wash;
-    ilp_options.order_horizon_s = options.order_horizon_s;
-    ilp_options.enable_integration = options.enable_integration;
-    ilp_options.solver = options.schedule_solver;
-    ScheduleIlpResult ilp = solveWashSchedule(base, routed, ilp_options);
-    if (ilp.success) {
-      result.schedule = std::move(ilp.schedule);
-      result.integrated_removals = ilp.integrated_removals;
-      result.proven_optimal = ilp.proven_optimal;
-      scheduled = true;
-    } else {
-      PDW_LOG(Warn, "pdw")
-          << "scheduling ILP returned no incumbent within its budget; "
-             "falling back to greedy insertion";
-    }
-  }
-  if (!scheduled) {
-    result.schedule =
-        wash::rescheduleWithWashes(base, routed, options.wash);
-  }
-
-  result.solve_seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
-  return result;
+  // Compatibility wrapper: the real pipeline lives behind pdw::Pipeline.
+  // A per-call Pipeline means a per-call route cache; callers who want
+  // cross-run cache reuse (batch serving) should hold a Pipeline instead.
+  Pipeline pipeline(options);
+  return std::move(pipeline.run(base).plan);
 }
 
 }  // namespace pdw::core

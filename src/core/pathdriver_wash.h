@@ -10,7 +10,14 @@
 //      like the paper's 15-minute cap).
 //
 // Every stage is individually switchable for the ablation benches.
+//
+// The preferred entry point is the pdw::Pipeline facade (core/pipeline.h),
+// which adds the parallel routing runtime, the route cache, per-stage
+// timings and solver statistics. `runPathDriverWash` below survives as a
+// thin wrapper over it.
 #pragma once
+
+#include <cstdint>
 
 #include "assay/schedule.h"
 #include "core/schedule_ilp.h"
@@ -20,6 +27,13 @@
 
 namespace pdw::core {
 
+/// One consolidated option block for the whole pipeline. The builder-style
+/// `with*` setters below are the supported way to configure a run — they
+/// cover every knob of the nested stage structs (wash physics, necessity
+/// exemptions, clustering, path routing, scheduling solver) so callers
+/// never have to reach into four namespaces. DESIGN.md §"Unified options"
+/// documents the mapping. Plain member access stays valid for the ablation
+/// benches.
 struct PdwOptions {
   /// Objective weights of eq. 26 (paper §IV: 0.3 / 0.3 / 0.4).
   double alpha = 0.3;
@@ -39,16 +53,122 @@ struct PdwOptions {
   bool enable_integration = true;
 
   double order_horizon_s = 12.0;
+
+  /// Scheduling-ILP solver knobs. NOTE: unless `withSolverBudget` pins a
+  /// budget, the Pipeline facade replaces stock `ilp::SolveParams` limits
+  /// (10 s / 200000 nodes) with the PDW defaults (8 s / 60000 nodes) and
+  /// logs that it did so — the override used to hide in this constructor.
   ilp::SolveParams schedule_solver;
 
-  PdwOptions() {
-    schedule_solver.time_limit_seconds = 8.0;
-    schedule_solver.node_limit = 60000;
+  /// Execution lanes for the parallel runtime (per-operation wash-path
+  /// routing, solver portfolio race, rescheduler precomputation).
+  /// 0 = hardware concurrency; 1 = fully sequential, reproducing the
+  /// pre-runtime behavior bit-for-bit. Results are identical for every
+  /// value — only wall-clock changes.
+  int num_threads = 0;
+
+  /// Memoize routing results across wash operations and across run() calls
+  /// of one Pipeline (LRU, `route_cache_capacity` problems). 0 disables.
+  std::size_t route_cache_capacity = 256;
+
+  /// True once withSolverBudget() pinned an explicit budget (suppresses the
+  /// facade's default-budget substitution).
+  bool schedule_budget_pinned = false;
+
+  // ---- builder-style setters (each returns *this for chaining) ----------
+
+  /// Objective weights alpha (N_wash), beta (L_wash), gamma (T_assay).
+  PdwOptions& withWeights(double a, double b, double g) {
+    alpha = a;
+    beta = b;
+    gamma = g;
+    return *this;
+  }
+
+  /// Runtime width; see num_threads.
+  PdwOptions& withThreads(int threads) {
+    num_threads = threads;
+    return *this;
+  }
+
+  /// Pin the scheduling-ILP budget (wall-clock seconds and, optionally, a
+  /// branch-and-bound node cap). Suppresses the facade's default budget.
+  PdwOptions& withSolverBudget(double seconds, std::int64_t nodes = 0) {
+    schedule_solver.time_limit_seconds = seconds;
+    if (nodes > 0) schedule_solver.node_limit = nodes;
+    schedule_budget_pinned = true;
+    return *this;
+  }
+
+  /// Budget of each per-operation wash-path ILP.
+  PdwOptions& withPathSolverBudget(double seconds, std::int64_t nodes = 0) {
+    path.solver.time_limit_seconds = seconds;
+    if (nodes > 0) path.solver.node_limit = nodes;
+    return *this;
+  }
+
+  /// Disable excess-removal integration (paper §II-B ablation).
+  PdwOptions& withoutIntegration() {
+    enable_integration = false;
+    return *this;
+  }
+
+  /// BFS heuristic wash paths instead of the path ILP.
+  PdwOptions& withoutIlpPaths() {
+    use_ilp_paths = false;
+    return *this;
+  }
+
+  /// Greedy insertion instead of the scheduling ILP.
+  PdwOptions& withoutIlpSchedule() {
+    use_ilp_schedule = false;
+    return *this;
+  }
+
+  /// Toggle the Type 1/2/3 wash-necessity exemptions (eqs. 9-11).
+  PdwOptions& withNecessityExemptions(bool type1, bool type2, bool type3) {
+    necessity.enable_type1 = type1;
+    necessity.enable_type2 = type2;
+    necessity.enable_type3 = type3;
+    return *this;
+  }
+
+  /// Clustering window slack and maximum cluster span (wash::ClusterOptions).
+  PdwOptions& withClusterWindow(double min_window_s, int max_span) {
+    cluster.min_window_s = min_window_s;
+    cluster.max_span = max_span;
+    return *this;
+  }
+
+  /// Wash physics: flow velocity v_f [mm/s] and dissolution time t_d [s]
+  /// (wash::WashParams, eq. 17).
+  PdwOptions& withWashPhysics(double flow_velocity_mm_s,
+                              double dissolution_s) {
+    wash.flow_velocity_mm_s = flow_velocity_mm_s;
+    wash.dissolution_s = dissolution_s;
+    return *this;
+  }
+
+  /// Ordering-binary pruning horizon of the scheduling ILP (DESIGN.md §7).
+  PdwOptions& withOrderHorizon(double seconds) {
+    order_horizon_s = seconds;
+    return *this;
+  }
+
+  /// Route-cache capacity in problems; 0 disables caching.
+  PdwOptions& withRouteCache(std::size_t capacity) {
+    route_cache_capacity = capacity;
+    return *this;
   }
 };
 
 /// Run PDW on a wash-oblivious base schedule. The returned schedule points
 /// to the same graph/chip as `base`.
+///
+/// [[deprecated]]: thin compatibility wrapper over pdw::Pipeline
+/// (core/pipeline.h), which returns stage timings, solver statistics and
+/// route-cache metrics alongside the plan. New code should construct a
+/// Pipeline — and hold on to it, so the route cache persists across runs.
 wash::WashPlanResult runPathDriverWash(const assay::AssaySchedule& base,
                                        const PdwOptions& options = {});
 

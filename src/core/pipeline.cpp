@@ -1,0 +1,226 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/wash_path_ilp.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "wash/contamination.h"
+#include "wash/necessity.h"
+#include "wash/rescheduler.h"
+
+namespace pdw {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Routing outcome of one wash operation (slot-per-index: workers write
+/// only their own element, results merge in operation order).
+struct RouteOutcome {
+  std::optional<arch::FlowPath> path;
+  core::WashPathStats stats;
+  bool cache_hit = false;
+};
+
+RouteOutcome routeOperation(const arch::ChipLayout& chip,
+                            const std::vector<arch::Cell>& targets,
+                            const core::PdwOptions& options,
+                            core::RouteCache* cache) {
+  RouteOutcome out;
+  core::RouteKey key;
+  if (cache != nullptr) {
+    key = core::RouteCache::makeKey(chip, targets, options.use_ilp_paths,
+                                    options.path);
+    if (auto cached = cache->lookup(key)) {
+      out.path = std::move(*cached);
+      out.cache_hit = true;
+      return out;
+    }
+  }
+
+  if (options.use_ilp_paths) {
+    out.path = core::routeWashPathIlp(chip, targets, options.path, &out.stats);
+  } else {
+    out.path = core::routeWashPathHeuristic(chip, targets);
+  }
+  if (!out.path) {
+    // Last resort: the heuristic on the whole grid. Target cells are on
+    // used flow paths, so ports can always reach them.
+    out.path = core::routeWashPathHeuristic(chip, targets);
+  }
+  if (cache != nullptr) cache->insert(key, out.path);
+  return out;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(core::PdwOptions options) : options_(std::move(options)) {
+  if (options_.num_threads <= 0)
+    options_.num_threads = util::ThreadPool::hardwareConcurrency();
+
+  // The PDW scheduling budget (8 s / 60000 nodes) historically replaced the
+  // stock ilp::SolveParams limits silently inside PdwOptions's constructor;
+  // the substitution now lives here, visibly. Fields the caller already
+  // moved off their stock defaults are respected.
+  if (!options_.schedule_budget_pinned) {
+    const ilp::SolveParams stock;
+    bool substituted = false;
+    if (options_.schedule_solver.time_limit_seconds ==
+        stock.time_limit_seconds) {
+      options_.schedule_solver.time_limit_seconds = 8.0;
+      substituted = true;
+    }
+    if (options_.schedule_solver.node_limit == stock.node_limit) {
+      options_.schedule_solver.node_limit = 60000;
+      substituted = true;
+    }
+    if (substituted) {
+      PDW_LOG(Info, "pipeline")
+          << "scheduling solver budget defaulted to "
+          << options_.schedule_solver.time_limit_seconds << " s / "
+          << options_.schedule_solver.node_limit
+          << " nodes (pin with PdwOptions::withSolverBudget)";
+    }
+  }
+
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  if (options_.route_cache_capacity > 0)
+    cache_ = std::make_unique<core::RouteCache>(options_.route_cache_capacity);
+}
+
+Pipeline::~Pipeline() = default;
+
+core::RouteCacheStats Pipeline::cacheStats() const {
+  return cache_ ? cache_->stats() : core::RouteCacheStats{};
+}
+
+PdwResult Pipeline::run(const assay::AssaySchedule& base) {
+  const auto run_start = Clock::now();
+  PdwResult result;
+  result.plan.method = "PDW";
+  result.threads = pool_->size();
+  const core::RouteCacheStats cache_before = cacheStats();
+
+  // 1. Contamination replay + necessity analysis (eqs. 9-11).
+  auto stage_start = Clock::now();
+  const wash::ContaminationTracker tracker(base);
+  wash::NecessityResult necessity =
+      analyzeWashNecessity(tracker, options_.necessity);
+  result.plan.necessity = necessity.stats;
+  result.timings.analysis_s = secondsSince(stage_start);
+
+  if (necessity.targets.empty()) {
+    result.plan.schedule = base;
+    result.plan.proven_optimal = true;
+    result.timings.total_s = secondsSince(run_start);
+    result.plan.solve_seconds = result.timings.total_s;
+    return result;
+  }
+
+  // 2. Cluster targets into wash operations.
+  stage_start = Clock::now();
+  std::vector<wash::WashOperation> washes =
+      clusterTargets(std::move(necessity.targets), options_.cluster);
+  result.wash_operations = static_cast<int>(washes.size());
+  result.timings.clustering_s = secondsSince(stage_start);
+
+  // 3. Route a wash path per operation (eqs. 12-15), in parallel: the
+  // routing problems are independent, each worker fills its own slot, and
+  // the merge below walks slots in operation order — so the plan is the
+  // same for any thread count.
+  stage_start = Clock::now();
+  std::vector<RouteOutcome> outcomes(washes.size());
+  std::vector<std::vector<arch::Cell>> target_cells(washes.size());
+  for (std::size_t i = 0; i < washes.size(); ++i)
+    target_cells[i] = washes[i].targetCells();
+  pool_->parallelFor(washes.size(), [&](std::size_t i) {
+    outcomes[i] = routeOperation(base.chip(), target_cells[i], options_,
+                                 cache_.get());
+  });
+  for (std::size_t i = 0; i < washes.size(); ++i) {
+    const RouteOutcome& out = outcomes[i];
+    PDW_LOG(Debug, "pdw") << "wash path ("
+                          << (out.path ? static_cast<int>(out.path->size())
+                                       : -1)
+                          << " cells) for " << washes[i].targets.size()
+                          << " targets"
+                          << (out.cache_hit ? " [cache]" : "");
+    if (out.path) washes[i].path = *out.path;
+    result.solver.path_ilp_solves += out.stats.ilp_solves;
+    result.solver.path_connectivity_cuts += out.stats.connectivity_cuts;
+    if (out.stats.used_fallback) ++result.solver.path_fallbacks;
+  }
+  // Drop unroutable operations only if truly unreachable (logged loudly:
+  // this indicates a malformed chip).
+  std::vector<wash::WashOperation> routed;
+  for (wash::WashOperation& w : washes) {
+    if (w.path.empty()) {
+      PDW_LOG(Error, "pdw") << "wash operation unroutable; dropping "
+                            << w.targets.size() << " targets";
+      ++result.unroutable_operations;
+      continue;
+    }
+    routed.push_back(std::move(w));
+  }
+  result.timings.routing_s = secondsSince(stage_start);
+
+  // 4. Re-time everything with the scheduling ILP (eqs. 1-8, 16-26).
+  stage_start = Clock::now();
+  bool scheduled = false;
+  if (options_.use_ilp_schedule) {
+    core::ScheduleIlpOptions ilp_options;
+    ilp_options.alpha = options_.alpha;
+    ilp_options.beta = options_.beta;
+    ilp_options.gamma = options_.gamma;
+    ilp_options.wash = options_.wash;
+    ilp_options.order_horizon_s = options_.order_horizon_s;
+    ilp_options.enable_integration = options_.enable_integration;
+    ilp_options.solver = options_.schedule_solver;
+    ilp_options.pool = pool_.get();
+    // Portfolio race: a second lane dives for incumbents and certifies
+    // optimality early; the canonical search still owns the returned
+    // assignment (see ilp::SolveParams::portfolio_threads).
+    if (pool_->size() >= 2 && ilp_options.solver.portfolio_threads < 2)
+      ilp_options.solver.portfolio_threads = 2;
+    core::ScheduleIlpResult ilp =
+        solveWashSchedule(base, routed, ilp_options);
+    result.solver.schedule = ilp.stats;
+    result.solver.schedule_ilp_success = ilp.success;
+    if (ilp.success) {
+      result.plan.schedule = std::move(ilp.schedule);
+      result.plan.integrated_removals = ilp.integrated_removals;
+      result.plan.proven_optimal = ilp.proven_optimal;
+      scheduled = true;
+    } else {
+      PDW_LOG(Warn, "pdw")
+          << "scheduling ILP returned no incumbent within its budget; "
+             "falling back to greedy insertion";
+    }
+  }
+  if (!scheduled) {
+    result.solver.schedule_greedy_fallback = true;
+    result.plan.schedule =
+        wash::rescheduleWithWashes(base, routed, options_.wash, pool_.get());
+  }
+  result.timings.scheduling_s = secondsSince(stage_start);
+
+  result.timings.total_s = secondsSince(run_start);
+  result.plan.solve_seconds = result.timings.total_s;
+
+  const core::RouteCacheStats cache_after = cacheStats();
+  result.cache.hits = cache_after.hits - cache_before.hits;
+  result.cache.misses = cache_after.misses - cache_before.misses;
+  result.cache.inserts = cache_after.inserts - cache_before.inserts;
+  result.cache.evictions = cache_after.evictions - cache_before.evictions;
+
+  return result;
+}
+
+}  // namespace pdw

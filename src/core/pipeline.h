@@ -1,0 +1,101 @@
+// pdw::Pipeline — the stable facade over the whole PathDriver-Wash stack.
+//
+//   pdw::Pipeline pipeline(core::PdwOptions{}.withThreads(4));
+//   pdw::PdwResult r = pipeline.run(base_schedule);
+//   // r.plan       — the washed, re-timed schedule + necessity stats
+//   // r.timings    — per-stage wall-clock breakdown
+//   // r.solver     — path-ILP and scheduling-ILP statistics
+//   // r.cache      — route-cache hits/misses/evictions for this run
+//
+// The Pipeline owns the parallel runtime: a work-stealing thread pool that
+// routes the per-operation wash-path ILPs concurrently (they are
+// independent given the necessity analysis), a solver portfolio race inside
+// the scheduling ILP, and an LRU route cache that persists across run()
+// calls so repeated sub-assays skip the ILP entirely.
+//
+// Determinism guarantee: for a fixed option set, run() produces the same
+// wash plan for every num_threads value (parallel routing merges in
+// wash-operation index order; the portfolio race never substitutes a
+// differing assignment). num_threads = 1 executes the exact sequential
+// code path.
+#pragma once
+
+#include <memory>
+
+#include "assay/schedule.h"
+#include "core/pathdriver_wash.h"
+#include "core/route_cache.h"
+#include "ilp/types.h"
+#include "wash/plan.h"
+
+namespace pdw {
+
+namespace util {
+class ThreadPool;
+}
+
+/// Wall-clock seconds spent in each pipeline stage of one run().
+struct StageTimings {
+  double analysis_s = 0.0;    ///< contamination replay + necessity analysis
+  double clustering_s = 0.0;  ///< wash-target clustering
+  double routing_s = 0.0;     ///< per-operation wash-path routing
+  double scheduling_s = 0.0;  ///< scheduling ILP (or greedy fallback)
+  double total_s = 0.0;
+};
+
+/// Solver bookkeeping across both ILP stages of one run().
+struct PipelineSolverStats {
+  /// Scheduling-ILP statistics (zero when the stage was skipped).
+  ilp::SolveStats schedule;
+  bool schedule_ilp_success = false;
+  bool schedule_greedy_fallback = false;
+  /// Wash-path routing totals over all operations.
+  int path_ilp_solves = 0;
+  int path_connectivity_cuts = 0;
+  int path_fallbacks = 0;  ///< operations that used the BFS fallback
+};
+
+/// Consolidated result of one Pipeline::run().
+struct PdwResult {
+  wash::WashPlanResult plan;
+  StageTimings timings;
+  PipelineSolverStats solver;
+  /// Route-cache activity during this run (deltas, not lifetime totals).
+  core::RouteCacheStats cache;
+  int threads = 1;             ///< execution lanes used
+  int wash_operations = 0;     ///< clustered wash operations routed
+  int unroutable_operations = 0;  ///< dropped (malformed chip; logged)
+
+  /// Convenience: the washed schedule.
+  const assay::AssaySchedule& schedule() const { return plan.schedule; }
+};
+
+class Pipeline {
+ public:
+  /// Resolves num_threads (0 -> hardware concurrency), builds the runtime
+  /// (thread pool + route cache) and — unless withSolverBudget pinned one —
+  /// applies the PDW scheduling-solver budget over the stock ilp defaults,
+  /// logging the substitution.
+  explicit Pipeline(core::PdwOptions options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Run the four PDW stages on `base`. Reentrant with respect to distinct
+  /// Pipeline instances; one instance must not be run() from two threads.
+  PdwResult run(const assay::AssaySchedule& base);
+
+  /// The options as resolved by the constructor (threads, budgets).
+  const core::PdwOptions& options() const { return options_; }
+
+  /// Lifetime route-cache statistics (accumulated over all run() calls).
+  core::RouteCacheStats cacheStats() const;
+
+ private:
+  core::PdwOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<core::RouteCache> cache_;
+};
+
+}  // namespace pdw

@@ -1,0 +1,147 @@
+#include "core/route_cache.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/wash_path_ilp.h"
+
+namespace pdw::core {
+
+namespace {
+
+/// splitmix64: cheap, well-distributed 64-bit mixer.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t value) {
+  return mix(seed ^ mix(value));
+}
+
+std::uint64_t combineCell(std::uint64_t seed, arch::Cell c) {
+  return combine(seed, (static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(c.x))
+                        << 32) |
+                           static_cast<std::uint32_t>(c.y));
+}
+
+std::uint64_t combineDouble(std::uint64_t seed, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return combine(seed, bits);
+}
+
+}  // namespace
+
+std::size_t RouteKeyHash::operator()(const RouteKey& key) const {
+  std::uint64_t h = combine(key.chip_fingerprint, key.blocked_hash);
+  h = combine(h, key.options_hash);
+  for (const arch::Cell& c : key.targets) h = combineCell(h, c);
+  return static_cast<std::size_t>(h);
+}
+
+RouteCache::RouteCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::optional<std::optional<arch::FlowPath>> RouteCache::lookup(
+    const RouteKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->path;
+}
+
+void RouteCache::insert(const RouteKey& key,
+                        std::optional<arch::FlowPath> path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->path = std::move(path);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(path)});
+  map_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t RouteCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+RouteCacheStats RouteCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RouteCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+RouteKey RouteCache::makeKey(const arch::ChipLayout& chip,
+                             const std::vector<arch::Cell>& targets,
+                             bool use_ilp, const WashPathOptions& options) {
+  RouteKey key;
+
+  std::uint64_t chip_h = combine(
+      combine(static_cast<std::uint64_t>(chip.width()),
+              static_cast<std::uint64_t>(chip.height())),
+      0);
+  chip_h = combineDouble(chip_h, chip.pitchMm());
+  for (const arch::Port& p : chip.ports()) {
+    chip_h = combineCell(chip_h, p.cell);
+    chip_h = combine(chip_h, p.is_waste ? 1 : 2);
+  }
+  for (const arch::Device& d : chip.devices()) {
+    chip_h = combineCell(chip_h, d.cell);
+    chip_h = combine(chip_h, static_cast<std::uint64_t>(d.kind));
+  }
+  key.chip_fingerprint = chip_h;
+
+  key.targets = targets;
+  std::sort(key.targets.begin(), key.targets.end());
+  key.targets.erase(std::unique(key.targets.begin(), key.targets.end()),
+                    key.targets.end());
+
+  // Blocked cells: devices that are not wash targets (both the ILP region
+  // builder and the BFS heuristic treat exactly these as obstacles on the
+  // restricted pass).
+  const std::set<arch::Cell> target_set(key.targets.begin(),
+                                        key.targets.end());
+  std::uint64_t blocked_h = 0x5bd1e995;
+  for (const arch::Device& d : chip.devices())
+    if (!target_set.count(d.cell)) blocked_h = combineCell(blocked_h, d.cell);
+  key.blocked_hash = blocked_h;
+
+  std::uint64_t opt_h = use_ilp ? 0x1234 : 0x4321;
+  opt_h = combine(opt_h, static_cast<std::uint64_t>(options.region_inflate));
+  opt_h = combine(opt_h,
+                  static_cast<std::uint64_t>(options.max_region_cells));
+  opt_h = combine(opt_h, options.fallback_heuristic ? 1 : 0);
+  opt_h = combineDouble(opt_h, options.solver.time_limit_seconds);
+  opt_h = combine(opt_h, static_cast<std::uint64_t>(options.solver.node_limit));
+  opt_h = combine(opt_h, static_cast<std::uint64_t>(
+                             options.solver.simplex_iteration_limit));
+  key.options_hash = opt_h;
+
+  return key;
+}
+
+}  // namespace pdw::core

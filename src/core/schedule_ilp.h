@@ -22,6 +22,10 @@
 #include "ilp/types.h"
 #include "wash/wash_op.h"
 
+namespace pdw::util {
+class ThreadPool;
+}
+
 namespace pdw::core {
 
 struct ScheduleIlpOptions {
@@ -32,6 +36,9 @@ struct ScheduleIlpOptions {
   double order_horizon_s = 12.0;
   bool enable_integration = true;
   ilp::SolveParams solver;
+  /// Optional runtime (non-owning): accelerates the greedy warm start's
+  /// conflict precomputation. nullptr = sequential.
+  util::ThreadPool* pool = nullptr;
 
   ScheduleIlpOptions() {
     solver.time_limit_seconds = 8.0;

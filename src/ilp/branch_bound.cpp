@@ -1,9 +1,11 @@
 #include "ilp/branch_bound.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <queue>
+#include <thread>
 
 #include "ilp/simplex.h"
 #include "util/logging.h"
@@ -31,10 +33,49 @@ struct QueueEntry {
   }
 };
 
+/// Shared state of the portfolio race (one canonical best-bound search, one
+/// depth-first diver). The canonical search only *publishes* its incumbents
+/// and reads the `proven` certificate for early exit; it never lets the
+/// diver's bound steer its exploration, which keeps its returned assignment
+/// bit-identical to a single-threaded solve. The diver prunes against the
+/// shared bound aggressively — its solutions are discarded, so only its
+/// certificate has to be sound.
+struct RaceState {
+  std::atomic<double> best_obj{kInfinity};   ///< best feasible objective seen
+  std::atomic<bool> proven{false};
+  std::atomic<double> proven_obj{kInfinity};  ///< certified optimal objective
+  std::atomic<bool> cancel{false};
+
+  void publish(double objective) {
+    double current = best_obj.load(std::memory_order_relaxed);
+    while (objective < current &&
+           !best_obj.compare_exchange_weak(current, objective,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  void certify(double objective) {
+    proven_obj.store(objective, std::memory_order_release);
+    proven.store(true, std::memory_order_release);
+  }
+};
+
+enum class Strategy {
+  BestBound,   ///< canonical: global best-first (the sequential behavior)
+  DepthFirst,  ///< diver: LIFO plunge to find incumbents early
+};
+
 class BranchAndBound {
  public:
-  BranchAndBound(const Model& model, const SolveParams& params)
-      : model_(model), params_(params), start_(Clock::now()) {
+  BranchAndBound(const Model& model, const SolveParams& params,
+                 Strategy strategy = Strategy::BestBound,
+                 RaceState* race = nullptr)
+      : model_(model),
+        params_(params),
+        strategy_(strategy),
+        race_(race),
+        start_(Clock::now()) {
     for (VarId v = 0; v < model.numVars(); ++v)
       if (model.var(v).type != VarType::Continuous) integer_vars_.push_back(v);
   }
@@ -60,18 +101,35 @@ class BranchAndBound {
         incumbent_ = std::move(warm);
         incumbent_obj_ = model_.objective().evaluate(incumbent_);
         has_incumbent_ = true;
-      } else {
+        publishIncumbent();
+      } else if (canonical()) {
         PDW_LOG(Info, "ilp") << "warm start rejected: " << violation;
       }
     }
 
     nodes_.push_back(Node{});  // root: no bound change
-    open_.push(QueueEntry{-kInfinity, 0});
+    pushOpen(QueueEntry{-kInfinity, 0});
 
     bool hit_limit = false;
     bool lp_trouble = false;
+    bool cancelled = false;
 
-    while (!open_.empty()) {
+    while (!openEmpty()) {
+      if (race_ && race_->cancel.load(std::memory_order_acquire)) {
+        cancelled = true;
+        break;
+      }
+      // Canonical early exit: once the diver has certified the optimal
+      // objective and our own incumbent matches it, the incumbent can never
+      // be replaced (incumbents must strictly improve), so the sequential
+      // run would return this exact assignment too — stop proving.
+      if (canonical() && race_ && has_incumbent_ &&
+          race_->proven.load(std::memory_order_acquire) &&
+          incumbent_obj_ <=
+              race_->proven_obj.load(std::memory_order_acquire) + absTol()) {
+        certified_ = true;
+        break;
+      }
       if (elapsedSeconds() > params_.time_limit_seconds ||
           stats_.nodes_explored >= params_.node_limit ||
           stats_.simplex_iterations >= params_.simplex_iteration_limit) {
@@ -79,9 +137,8 @@ class BranchAndBound {
         break;
       }
 
-      const QueueEntry entry = open_.top();
-      open_.pop();
-      if (has_incumbent_ && entry.bound >= incumbent_obj_ - absTol()) continue;
+      const QueueEntry entry = popNext();
+      if (entry.bound >= pruneBound() - absTol()) continue;
 
       resolveBounds(entry.node);
       ++stats_.nodes_explored;
@@ -107,13 +164,15 @@ class BranchAndBound {
         continue;
       }
 
-      if (has_incumbent_ && lp.objective >= incumbent_obj_ - absTol())
-        continue;
+      if (lp.objective >= pruneBound() - absTol()) continue;
 
       const VarId branch_var = pickBranchVariable(lp.values);
       if (branch_var < 0) {
         acceptIncumbent(lp);
-        if (gapClosed()) break;
+        // The diver runs to exhaustion (pruning clears its stack once the
+        // optimum is known) so that reaching an empty open set certifies
+        // optimality; only the canonical search uses the gap early-stop.
+        if (canonical() && gapClosed()) break;
         continue;
       }
 
@@ -126,15 +185,27 @@ class BranchAndBound {
                 upper_[static_cast<std::size_t>(branch_var)], lp.objective);
     }
 
+    // Sound certificate for the racing canonical search: the diver pruned
+    // only against objectives someone actually attained, so exhausting its
+    // open set proves nothing beats the best shared objective.
+    if (!canonical() && race_ && !hit_limit && !lp_trouble && !cancelled &&
+        openEmpty()) {
+      const double best = std::min(
+          has_incumbent_ ? incumbent_obj_ : kInfinity,
+          race_->best_obj.load(std::memory_order_acquire));
+      if (best < kInfinity) race_->certify(best);
+    }
+
     fillStats(result);
     if (has_incumbent_) {
       result.objective = incumbent_obj_;
       result.values = incumbent_;
-      result.status = (hit_limit || lp_trouble || !open_.empty())
+      result.status = (hit_limit || lp_trouble || cancelled || !openEmpty())
                           ? SolveStatus::Feasible
                           : SolveStatus::Optimal;
-      if (gapClosed()) result.status = SolveStatus::Optimal;
-    } else if (hit_limit) {
+      if (gapClosed() || certified_) result.status = SolveStatus::Optimal;
+      result.stats.race_certified = certified_;
+    } else if (hit_limit || cancelled) {
       result.status = elapsedSeconds() > params_.time_limit_seconds
                           ? SolveStatus::TimeLimit
                           : SolveStatus::NodeLimit;
@@ -149,22 +220,73 @@ class BranchAndBound {
  private:
   double absTol() const { return 1e-9; }
 
+  bool canonical() const { return strategy_ == Strategy::BestBound; }
+
+  /// Objective threshold for pruning. The canonical search prunes only
+  /// against its *own* incumbent (determinism: its node sequence never
+  /// depends on the race). The diver additionally prunes against the shared
+  /// race bound — its job is certification, not its own incumbent.
+  double pruneBound() const {
+    double bound = has_incumbent_ ? incumbent_obj_ : kInfinity;
+    if (!canonical() && race_)
+      bound = std::min(bound,
+                       race_->best_obj.load(std::memory_order_acquire));
+    return bound;
+  }
+
+  void publishIncumbent() {
+    if (race_) race_->publish(incumbent_obj_);
+  }
+
   double elapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  // ---- open-set abstraction over the two strategies ----------------------
+  bool openEmpty() const {
+    return canonical() ? open_.empty() : stack_.empty();
+  }
+
+  QueueEntry popNext() {
+    if (canonical()) {
+      const QueueEntry entry = open_.top();
+      open_.pop();
+      return entry;
+    }
+    const QueueEntry entry = stack_.back();
+    stack_.pop_back();
+    return entry;
+  }
+
+  void pushOpen(QueueEntry entry) {
+    if (canonical()) {
+      open_.push(entry);
+    } else {
+      stack_.push_back(entry);
+    }
+  }
+
+  /// Tightest proven lower bound among open nodes (for stats/gap).
+  double bestOpenBound() const {
+    if (canonical())
+      return open_.empty() ? kInfinity : open_.top().bound;
+    double best = kInfinity;
+    for (const QueueEntry& e : stack_) best = std::min(best, e.bound);
+    return best;
+  }
+
   void fillStats(Solution& result) {
     stats_.wall_seconds = elapsedSeconds();
-    stats_.best_bound = open_.empty()
+    stats_.best_bound = openEmpty()
                             ? (has_incumbent_ ? incumbent_obj_ : kInfinity)
-                            : open_.top().bound;
+                            : bestOpenBound();
     result.stats = stats_;
   }
 
   bool gapClosed() const {
     if (!has_incumbent_) return false;
-    if (open_.empty()) return true;
-    const double bound = open_.top().bound;
+    if (openEmpty()) return true;
+    const double bound = bestOpenBound();
     const double gap = (incumbent_obj_ - bound) /
                        std::max(1.0, std::abs(incumbent_obj_));
     return gap <= params_.mip_gap;
@@ -219,6 +341,7 @@ class BranchAndBound {
     incumbent_ = std::move(values);
     incumbent_obj_ = objective;
     has_incumbent_ = true;
+    publishIncumbent();
     if (params_.log_progress) {
       PDW_LOG(Info, "ilp") << "incumbent " << incumbent_obj_ << " after "
                            << stats_.nodes_explored << " nodes";
@@ -236,18 +359,21 @@ class BranchAndBound {
     node.bound = bound;
     node.depth = nodes_[static_cast<std::size_t>(parent)].depth + 1;
     nodes_.push_back(node);
-    open_.push(QueueEntry{bound, static_cast<int>(nodes_.size()) - 1});
+    pushOpen(QueueEntry{bound, static_cast<int>(nodes_.size()) - 1});
   }
 
   const Model& model_;
   const SolveParams& params_;
+  Strategy strategy_;
+  RaceState* race_;
   Clock::time_point start_;
 
   std::vector<VarId> integer_vars_;
   std::vector<Node> nodes_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
-      open_;
+      open_;               // BestBound strategy
+  std::vector<QueueEntry> stack_;  // DepthFirst strategy
   std::vector<double> base_lower_, base_upper_;
   std::vector<double> lower_, upper_;
   std::vector<int> chain_;
@@ -255,6 +381,7 @@ class BranchAndBound {
   std::vector<double> incumbent_;
   double incumbent_obj_ = kInfinity;
   bool has_incumbent_ = false;
+  bool certified_ = false;
 
   SolveStats stats_;
 };
@@ -285,6 +412,36 @@ Solution solveMip(const Model& model, const SolveParams& params) {
     }
     return result;
   }
+
+  if (params.portfolio_threads >= 2) {
+    // Portfolio race: canonical best-bound search on this thread, a
+    // depth-first diver on a second one. The diver feeds the shared
+    // incumbent bound and certifies optimality early; the canonical search
+    // supplies the returned assignment, so the race changes wall-clock and
+    // stats but never the solution.
+    RaceState race;
+    Solution diver_result;
+    std::thread diver([&] {
+      BranchAndBound d(model, params, Strategy::DepthFirst, &race);
+      diver_result = d.run();
+    });
+    BranchAndBound canonical(model, params, Strategy::BestBound, &race);
+    Solution result = canonical.run();
+    race.cancel.store(true, std::memory_order_release);
+    diver.join();
+    result.stats.portfolio_nodes = diver_result.stats.nodes_explored;
+    // Late certificate: the canonical search may have finished Feasible on a
+    // limit right as the diver proved that very objective optimal.
+    if (result.status == SolveStatus::Feasible &&
+        race.proven.load(std::memory_order_acquire) &&
+        result.objective <=
+            race.proven_obj.load(std::memory_order_acquire) + 1e-9) {
+      result.status = SolveStatus::Optimal;
+      result.stats.race_certified = true;
+    }
+    return result;
+  }
+
   BranchAndBound solver(model, params);
   return solver.run();
 }

@@ -50,6 +50,11 @@ struct SolveStats {
   double best_bound = -kInfinity;  ///< proven lower bound (minimization)
   double wall_seconds = 0.0;
   int cuts_added = 0;
+  /// Portfolio race (SolveParams::portfolio_threads >= 2) bookkeeping:
+  /// nodes explored by the racing depth-first diver, and whether the diver
+  /// certified optimality before the canonical search proved it itself.
+  std::int64_t portfolio_nodes = 0;
+  bool race_certified = false;
 };
 
 /// Result of solving a Model. `values` is indexed by VarId of the *original*
@@ -83,6 +88,13 @@ struct SolveParams {
   /// anything worse than this point (the paper's "best-effort within the
   /// time limit" semantics).
   std::vector<double> warm_start;
+  /// >= 2 races the canonical best-bound search against a depth-first diver
+  /// on a second thread. The diver publishes feasible objectives through an
+  /// atomic incumbent bound; the canonical search stops early once its own
+  /// incumbent matches a diver-certified optimum. The returned variable
+  /// assignment is always the canonical one, so results are identical to a
+  /// single-threaded solve (only stats/status certification differ).
+  int portfolio_threads = 1;
 };
 
 }  // namespace pdw::ilp

@@ -1,0 +1,141 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace pdw::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  queues_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back(
+        [this, i] { workerLoop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::hardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::submit(Task task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    WorkerQueue& q = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard<std::mutex> qlock(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  wake_.notify_all();
+}
+
+bool ThreadPool::tryPop(std::size_t self, Task& task) {
+  // Own queue: newest first (LIFO).
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: oldest task (FIFO) from the next non-empty victim.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  for (;;) {
+    Task task;
+    if (tryPop(self, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stopping_) return;
+    wake_.wait_for(lock, std::chrono::milliseconds(50));
+    if (stopping_) return;
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::size_t n;
+    std::function<void(std::size_t)> fn;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;  // first exception, guarded by mutex
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = fn;
+
+  const auto drain = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b->n) return;
+      try {
+        b->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(b->mutex);
+        if (!b->error) b->error = std::current_exception();
+      }
+      if (b->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == b->n) {
+        std::lock_guard<std::mutex> lock(b->mutex);
+        b->done.notify_all();
+      }
+    }
+  };
+
+  // One helper per worker (indices self-schedule, so surplus helpers simply
+  // exit), plus the calling thread.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit([batch, drain] {
+    drain(batch);
+  });
+  drain(batch);
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) == batch->n;
+  });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace pdw::util

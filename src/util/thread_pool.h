@@ -1,0 +1,73 @@
+// Work-stealing thread pool for the parallel PDW runtime.
+//
+// Each worker owns a deque: it pops its own work from the back (LIFO, warm
+// caches) and steals from other workers' fronts (FIFO, oldest task) when its
+// deque runs dry. `parallelFor` is the main entry point: it fans a loop body
+// out over the workers *and* the calling thread, self-scheduling indices
+// through an atomic cursor so uneven iterations (ILP solves of very
+// different sizes) balance automatically.
+//
+// Determinism contract: the pool never decides *what* is computed, only
+// *where*. Loop bodies write to index-owned slots, so results are identical
+// for any worker count — a pool of size 1 (or 0 workers) executes inline and
+// reproduces the sequential behavior bit-for-bit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdw::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `num_threads` <= 1 creates no workers: every call runs inline on the
+  /// caller. `num_threads` = n creates n - 1 workers (the caller is the
+  /// n-th lane of every parallelFor).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread), >= 1.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueue a task for asynchronous execution. Tasks are distributed
+  /// round-robin; idle workers steal. With no workers the task runs inline.
+  void submit(Task task);
+
+  /// Run fn(0) .. fn(n-1), blocking until all complete. The caller
+  /// participates. The first exception thrown by any iteration is rethrown
+  /// on the caller after the batch drains. Do not nest parallelFor inside a
+  /// loop body (workers would block on the inner batch).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int hardwareConcurrency();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void workerLoop(std::size_t self);
+  bool tryPop(std::size_t self, Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::size_t next_queue_ = 0;  // round-robin submit cursor (under wake_mutex_)
+  bool stopping_ = false;
+};
+
+}  // namespace pdw::util

@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "util/thread_pool.h"
+
 namespace pdw::wash {
 
 namespace {
@@ -25,8 +27,8 @@ struct Item {
 class Engine {
  public:
   Engine(const AssaySchedule& base, const std::vector<WashOperation>& washes,
-         const WashParams& params)
-      : base_(base), washes_(washes), params_(params) {}
+         const WashParams& params, util::ThreadPool* pool)
+      : base_(base), washes_(washes), params_(params), pool_(pool) {}
 
   AssaySchedule run() {
     buildItems();
@@ -48,6 +50,8 @@ class Engine {
       wash_task_ids.push_back(out.addTask(task));
     }
 
+    precomputeConflicts(out);
+
     std::map<arch::DeviceId, double> device_free;
     std::map<TaskId, double> wash_floor;  // blocking task -> min start
 
@@ -61,9 +65,7 @@ class Engine {
                 t.kind != TaskKind::Wash)
               lb = std::max(lb, t.end);
           const double dur = base_.graph().op(item.index).duration_s;
-          const arch::Cell cell =
-              base_.chip().device(s.device).cell;
-          const double start = opSlot(out, cell, lb, dur, item.index);
+          const double start = opSlot(out, s.device, lb, dur, item.index);
           s.start = start;
           s.end = start + dur;
           device_free[s.device] = s.end;
@@ -77,7 +79,7 @@ class Engine {
           if (floor_it != wash_floor.end())
             lb = std::max(lb, floor_it->second);
           const double dur = base_.task(t.id).duration();
-          const double start = taskSlot(out, t.path, lb, dur, &t);
+          const double start = taskSlot(out, t.id, lb, dur, &t);
           t.start = start;
           t.end = start + dur;
           assigned_tasks_.insert(t.id);
@@ -98,7 +100,7 @@ class Engine {
               lb = std::max(lb, out.opSchedule(target.contaminating_op).end);
           }
           const double dur = w.duration(params_, base_.chip().pitchMm());
-          const double start = taskSlot(out, t.path, lb, dur, nullptr);
+          const double start = taskSlot(out, t.id, lb, dur, nullptr);
           t.start = start;
           t.end = start + dur;
           assigned_tasks_.insert(t.id);
@@ -116,6 +118,41 @@ class Engine {
   }
 
  private:
+  /// Path-overlap and device-crossing predicates are pure functions of the
+  /// (immutable) task paths, but the sweep below queries them O(T) times
+  /// per placement. Precompute both tables once — rows are independent, so
+  /// the pool fans them out; every worker writes only its own row, keeping
+  /// the result identical for any thread count.
+  void precomputeConflicts(const AssaySchedule& out) {
+    const std::size_t n_tasks = out.tasks().size();
+    const std::size_t n_devices = base_.chip().devices().size();
+    overlap_.assign(n_tasks, std::vector<char>(n_tasks, 0));
+    crosses_.assign(n_tasks, std::vector<char>(n_devices, 0));
+    const auto fill_row = [&](std::size_t a) {
+      const arch::FlowPath& path = out.tasks()[a].path;
+      for (std::size_t b = 0; b < n_tasks; ++b)
+        overlap_[a][b] = path.overlaps(out.tasks()[b].path) ? 1 : 0;
+      for (std::size_t d = 0; d < n_devices; ++d)
+        crosses_[a][d] =
+            path.contains(base_.chip().devices()[d].cell) ? 1 : 0;
+    };
+    if (pool_ != nullptr) {
+      pool_->parallelFor(n_tasks, fill_row);
+    } else {
+      for (std::size_t a = 0; a < n_tasks; ++a) fill_row(a);
+    }
+  }
+
+  bool pathsOverlap(TaskId a, TaskId b) const {
+    return overlap_[static_cast<std::size_t>(a)]
+                   [static_cast<std::size_t>(b)] != 0;
+  }
+
+  bool pathCrossesDevice(TaskId task, arch::DeviceId device) const {
+    return crosses_[static_cast<std::size_t>(task)]
+                   [static_cast<std::size_t>(device)] != 0;
+  }
+
   void buildItems() {
     for (const assay::OpSchedule& s : base_.opSchedules())
       items_.push_back({Item::Kind::Op, s.op, s.start});
@@ -171,14 +208,14 @@ class Engine {
   /// analysis is only valid for the base use order. Tasks never slip into
   /// gaps before assigned operations whose device cell they cross, for the
   /// same reason.
-  double taskSlot(const AssaySchedule& out, const arch::FlowPath& path,
-                  double lb, double dur, const FluidTask* self) const {
+  double taskSlot(const AssaySchedule& out, TaskId path_task, double lb,
+                  double dur, const FluidTask* self) const {
     double start = lb;
     // Hard floors first: assignment-order preservation.
     for (const FluidTask& other : out.tasks()) {
       if (!assigned_tasks_.count(other.id)) continue;
       if (other.duration() <= 1e-9) continue;
-      if (!other.path.overlaps(path)) continue;
+      if (!pathsOverlap(path_task, other.id)) continue;
       const bool safe =
           self == nullptr ||
           reorderSafe(base_.graph().fluids(), *self, other);
@@ -188,7 +225,7 @@ class Engine {
       for (const assay::OpSchedule& o : out.opSchedules()) {
         if (!assigned_ops_.count(o.op)) continue;
         if (self->consumer == o.op) continue;  // own consumer comes later
-        if (path.contains(base_.chip().device(o.device).cell))
+        if (pathCrossesDevice(path_task, o.device))
           start = std::max(start, o.end);
       }
     }
@@ -200,7 +237,7 @@ class Engine {
         if (!assigned_tasks_.count(other.id)) continue;
         if (other.end <= start + 1e-9 || other.start >= end - 1e-9) continue;
         if (other.duration() <= 1e-9) continue;
-        if (other.path.overlaps(path)) {
+        if (pathsOverlap(path_task, other.id)) {
           start = other.end;
           moved = true;
           break;
@@ -210,7 +247,7 @@ class Engine {
       for (const assay::OpSchedule& o : out.opSchedules()) {
         if (!assigned_ops_.count(o.op)) continue;
         if (o.end <= start + 1e-9 || o.start >= end - 1e-9) continue;
-        if (path.contains(base_.chip().device(o.device).cell)) {
+        if (pathCrossesDevice(path_task, o.device)) {
           start = o.end;
           moved = true;
           break;
@@ -220,17 +257,18 @@ class Engine {
     return start;
   }
 
-  /// Earliest start >= lb at which no assigned task crosses `device_cell`.
-  /// Assignment order against crossing tasks is preserved (no gap-filling
-  /// before a task that already crossed the device in base order).
-  double opSlot(const AssaySchedule& out, arch::Cell device_cell, double lb,
+  /// Earliest start >= lb at which no assigned task crosses `device`'s
+  /// cell. Assignment order against crossing tasks is preserved (no
+  /// gap-filling before a task that already crossed the device in base
+  /// order).
+  double opSlot(const AssaySchedule& out, arch::DeviceId device, double lb,
                 double dur, assay::OpId self) const {
     double start = lb;
     for (const FluidTask& other : out.tasks()) {
       if (!assigned_tasks_.count(other.id)) continue;
       if (other.duration() <= 1e-9) continue;
       if (other.consumer == self) continue;  // own inputs end before us
-      if (other.path.contains(device_cell))
+      if (pathCrossesDevice(other.id, device))
         start = std::max(start, other.end);
     }
     bool moved = true;
@@ -241,7 +279,7 @@ class Engine {
         if (!assigned_tasks_.count(other.id)) continue;
         if (other.end <= start + 1e-9 || other.start >= end - 1e-9) continue;
         if (other.duration() <= 1e-9) continue;
-        if (other.path.contains(device_cell)) {
+        if (pathCrossesDevice(other.id, device)) {
           start = other.end;
           moved = true;
           break;
@@ -254,7 +292,10 @@ class Engine {
   const AssaySchedule& base_;
   const std::vector<WashOperation>& washes_;
   const WashParams& params_;
+  util::ThreadPool* pool_;
   std::vector<Item> items_;
+  std::vector<std::vector<char>> overlap_;  ///< [task][task] path overlap
+  std::vector<std::vector<char>> crosses_;  ///< [task][device] cell crossing
   std::set<OpId> assigned_ops_;
   std::set<TaskId> assigned_tasks_;
 };
@@ -263,8 +304,9 @@ class Engine {
 
 AssaySchedule rescheduleWithWashes(const AssaySchedule& base,
                                    const std::vector<WashOperation>& washes,
-                                   const WashParams& params) {
-  Engine engine(base, washes, params);
+                                   const WashParams& params,
+                                   util::ThreadPool* pool) {
+  Engine engine(base, washes, params, pool);
   return engine.run();
 }
 

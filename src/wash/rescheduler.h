@@ -18,13 +18,22 @@
 #include "wash/plan.h"
 #include "wash/wash_op.h"
 
+namespace pdw::util {
+class ThreadPool;
+}
+
 namespace pdw::wash {
 
 /// Insert `washes` into `base` and retime everything downstream. The
 /// returned schedule contains all base ops/tasks (same ids) plus one Wash
 /// task per wash operation, appended in input order.
+///
+/// `pool` (optional, non-owning) parallelizes the path-overlap /
+/// device-crossing precomputation that feeds the sweep; the assignment
+/// sweep itself is order-dependent and stays sequential, so the result is
+/// identical with or without a pool.
 assay::AssaySchedule rescheduleWithWashes(
     const assay::AssaySchedule& base, const std::vector<WashOperation>& washes,
-    const WashParams& params);
+    const WashParams& params, util::ThreadPool* pool = nullptr);
 
 }  // namespace pdw::wash
