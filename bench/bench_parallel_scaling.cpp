@@ -6,7 +6,9 @@
 //
 // Determinism check included: the describe() dump of every plan must be
 // byte-identical to the single-threaded one.
-#include <chrono>
+//
+// All timings come from the pipeline's own StageTimings snapshot
+// (r.timings) — no clock of our own around run().
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -21,11 +23,6 @@
 namespace {
 
 using namespace pdw;
-using Clock = std::chrono::steady_clock;
-
-double seconds(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 }  // namespace
 
@@ -48,9 +45,8 @@ int main() {
   double t1 = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     Pipeline pipeline(core::PdwOptions{}.withThreads(threads));
-    const auto t0 = Clock::now();
     const PdwResult r = pipeline.run(base.schedule);
-    const double wall = seconds(t0);
+    const double wall = r.timings.total_s;
 
     const std::string plan = r.plan.schedule.describe();
     if (threads == 1) {
@@ -69,14 +65,19 @@ int main() {
   std::printf("\nwarm route cache (threads=1):\n");
   Pipeline pipeline(core::PdwOptions{}.withThreads(1));
   for (int pass = 1; pass <= 2; ++pass) {
-    const auto t0 = Clock::now();
     const PdwResult r = pipeline.run(base.schedule);
+    // Cache numbers from the per-run metrics delta rather than the
+    // cumulative r.cache stats, so pass 2 reports its own hits only.
+    const auto hits = r.metrics.counter("pdw.route_cache.hits");
+    const auto misses = r.metrics.counter("pdw.route_cache.misses");
+    const auto lookups = hits + misses;
     std::printf("  pass %d: %6.2f s  routing %5.2f s  cache %lld/%lld hits "
                 "(%.0f%%)\n",
-                pass, seconds(t0), r.timings.routing_s,
-                static_cast<long long>(r.cache.hits),
-                static_cast<long long>(r.cache.hits + r.cache.misses),
-                r.cache.hitRate() * 100.0);
+                pass, r.timings.total_s, r.timings.routing_s,
+                static_cast<long long>(hits), static_cast<long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0);
     if (r.plan.schedule.describe() != reference_plan) {
       std::printf("  plan DIFFERS (BUG)\n");
       return 1;

@@ -3,6 +3,8 @@
 // (ILP vs BFS) and the full PDW / DAWO runs on a mid-size benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
 #include "core/pipeline.h"
@@ -72,13 +74,38 @@ void BM_WashPathHeuristic(benchmark::State& state) {
 }
 BENCHMARK(BM_WashPathHeuristic);
 
+/// Per-stage breakdown straight from the pipeline's own StageTimings (no
+/// hand-derived timing around the call), reported as per-iteration averages.
+void reportStageTimings(benchmark::State& state, const StageTimings& totals) {
+  using benchmark::Counter;
+  state.counters["analysis_s"] =
+      Counter(totals.analysis_s, Counter::kAvgIterations);
+  state.counters["clustering_s"] =
+      Counter(totals.clustering_s, Counter::kAvgIterations);
+  state.counters["routing_s"] =
+      Counter(totals.routing_s, Counter::kAvgIterations);
+  state.counters["scheduling_s"] =
+      Counter(totals.scheduling_s, Counter::kAvgIterations);
+}
+
+void accumulate(StageTimings& totals, const StageTimings& t) {
+  totals.analysis_s += t.analysis_s;
+  totals.clustering_s += t.clustering_s;
+  totals.routing_s += t.routing_s;
+  totals.scheduling_s += t.scheduling_s;
+  totals.total_s += t.total_s;
+}
+
 void BM_FullPdw(benchmark::State& state) {
+  StageTimings totals;
   for (auto _ : state) {
     // Fresh Pipeline per iteration: cold route cache, like a one-shot call.
     Pipeline pipeline(core::PdwOptions{}.withThreads(1));
     PdwResult r = pipeline.run(ivdBase().schedule);
     benchmark::DoNotOptimize(r.schedule().completionTime());
+    accumulate(totals, r.timings);
   }
+  reportStageTimings(state, totals);
 }
 BENCHMARK(BM_FullPdw)->Unit(benchmark::kMillisecond);
 
@@ -86,10 +113,17 @@ void BM_FullPdwWarmCache(benchmark::State& state) {
   // One long-lived Pipeline: after the first iteration every wash-path
   // routing problem hits the LRU route cache.
   Pipeline pipeline(core::PdwOptions{}.withThreads(1));
+  StageTimings totals;
+  std::int64_t cache_hits = 0;
   for (auto _ : state) {
     PdwResult r = pipeline.run(ivdBase().schedule);
     benchmark::DoNotOptimize(r.schedule().completionTime());
+    accumulate(totals, r.timings);
+    cache_hits += r.metrics.counter("pdw.route_cache.hits");
   }
+  reportStageTimings(state, totals);
+  state.counters["cache_hits"] = benchmark::Counter(
+      static_cast<double>(cache_hits), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_FullPdwWarmCache)->Unit(benchmark::kMillisecond);
 

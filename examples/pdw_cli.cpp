@@ -16,6 +16,8 @@
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/gantt.h"
 #include "sim/metrics.h"
 #include "sim/validator.h"
@@ -35,6 +37,8 @@ struct CliOptions {
   bool run_dawo = true;
   bool gantt = false;
   bool csv = false;
+  std::string trace_out;    ///< Chrome trace JSON path (enables tracing)
+  std::string metrics_out;  ///< metrics registry JSON path
   core::PdwOptions pdw;
 };
 
@@ -55,7 +59,12 @@ void printUsage() {
       "  --no-ilp-schedule  greedy insertion instead of the scheduling ILP\n"
       "  --gantt            print ASCII Gantt charts\n"
       "  --csv              machine-readable output\n"
-      "  --log LEVEL        trace|debug|info|warn|error\n";
+      "  --trace-out=FILE   write a Chrome trace (chrome://tracing,\n"
+      "                     ui.perfetto.dev) of the run; enables tracing\n"
+      "  --metrics-out=FILE write the metrics registry as JSON\n"
+      "  --log-level LEVEL  trace|debug|info|warn|error|off (also via the\n"
+      "                     PDW_LOG_LEVEL environment variable)\n"
+      "  --log LEVEL        alias for --log-level\n";
 }
 
 std::optional<assay::BenchmarkId> parseBenchmark(const std::string& name) {
@@ -74,22 +83,37 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // --flag=value spelling: split once, so every flag accepts both forms.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('=');
+        eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto value_of = [&](int& i) -> std::optional<std::string> {
+      if (has_inline_value) return inline_value;
+      const char* v = next(i);
+      if (!v) return std::nullopt;
+      return std::string(v);
+    };
     if (arg == "--benchmark") {
-      const char* value = next(i);
+      const auto value = value_of(i);
       if (!value) return std::nullopt;
-      const auto id = parseBenchmark(value);
+      const auto id = parseBenchmark(*value);
       if (!id) {
-        std::cerr << "unknown benchmark '" << value << "'\n";
+        std::cerr << "unknown benchmark '" << *value << "'\n";
         return std::nullopt;
       }
       options.benchmarks.push_back(*id);
     } else if (arg == "--all") {
       options.benchmarks = assay::allBenchmarks();
     } else if (arg == "--method") {
-      const char* value = next(i);
+      const auto value = value_of(i);
       if (!value) return std::nullopt;
-      const std::string m = value;
+      const std::string& m = *value;
       options.run_pdw = m == "pdw" || m == "both";
       options.run_dawo = m == "dawo" || m == "both";
       if (!options.run_pdw && !options.run_dawo) {
@@ -98,17 +122,17 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       }
     } else if (arg == "--alpha" || arg == "--beta" || arg == "--gamma" ||
                arg == "--time-limit") {
-      const char* value = next(i);
+      const auto value = value_of(i);
       if (!value) return std::nullopt;
-      const double x = std::atof(value);
+      const double x = std::atof(value->c_str());
       if (arg == "--alpha") options.pdw.alpha = x;
       else if (arg == "--beta") options.pdw.beta = x;
       else if (arg == "--gamma") options.pdw.gamma = x;
       else options.pdw.withSolverBudget(x, 60000);
     } else if (arg == "--threads") {
-      const char* value = next(i);
+      const auto value = value_of(i);
       if (!value) return std::nullopt;
-      options.pdw.withThreads(std::atoi(value));
+      options.pdw.withThreads(std::atoi(value->c_str()));
     } else if (arg == "--no-type1") {
       options.pdw.necessity.enable_type1 = false;
     } else if (arg == "--no-type2") {
@@ -125,10 +149,18 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       options.gantt = true;
     } else if (arg == "--csv") {
       options.csv = true;
-    } else if (arg == "--log") {
-      const char* value = next(i);
+    } else if (arg == "--trace-out") {
+      const auto value = value_of(i);
       if (!value) return std::nullopt;
-      util::setLogLevel(util::parseLogLevel(value));
+      options.trace_out = *value;
+    } else if (arg == "--metrics-out") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      options.metrics_out = *value;
+    } else if (arg == "--log" || arg == "--log-level") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      util::setLogLevel(util::parseLogLevel(*value));
     } else if (arg == "--help" || arg == "-h") {
       printUsage();
       std::exit(0);
@@ -151,6 +183,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const CliOptions& options = *parsed;
+  if (!options.trace_out.empty()) obs::setTracingEnabled(true);
 
   util::Table table({"Benchmark", "Method", "N_wash", "L_wash (mm)",
                      "T_delay (s)", "T_assay (s)", "avg wait (s)",
@@ -193,6 +226,25 @@ int main(int argc, char** argv) {
     table.renderCsv(std::cout);
   } else {
     table.render(std::cout);
+  }
+
+  if (!options.trace_out.empty()) {
+    if (obs::writeTraceJson(options.trace_out)) {
+      std::cerr << "trace written to " << options.trace_out
+                << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "failed to write trace to " << options.trace_out << "\n";
+      all_valid = false;
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    if (obs::Registry::instance().writeJson(options.metrics_out)) {
+      std::cerr << "metrics written to " << options.metrics_out << "\n";
+    } else {
+      std::cerr << "failed to write metrics to " << options.metrics_out
+                << "\n";
+      all_valid = false;
+    }
   }
   return all_valid ? 0 : 1;
 }

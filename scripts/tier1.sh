@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full test suite in a normal build, then the
-# parallel-runtime tests (determinism + route cache) under ThreadSanitizer.
+# Tier-1 verification: the full test suite in a normal build, an
+# observability export smoke check (pdw_cli trace/metrics JSON validated by
+# tools/obs_check), then the parallel-runtime + obs tests (determinism,
+# route cache, tracing/metrics/logging) under ThreadSanitizer.
 #
-#   scripts/tier1.sh            # both stages
-#   PDW_SKIP_TSAN=1 scripts/tier1.sh   # normal build + ctest only
+#   scripts/tier1.sh            # all stages
+#   PDW_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSAN stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,16 +14,26 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== tier-1: observability export smoke check =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+./build/examples/pdw_cli --benchmark PCR --method pdw --threads 4 \
+  --time-limit 2 --trace-out "$obs_dir/trace.json" \
+  --metrics-out "$obs_dir/metrics.json"
+# 4 lanes = 3 pool workers + the calling thread.
+./build/tools/obs_check --trace "$obs_dir/trace.json" \
+  --metrics "$obs_dir/metrics.json" --expect-workers 3
+
 if [[ "${PDW_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== tier-1: TSAN stage skipped (PDW_SKIP_TSAN=1) =="
   exit 0
 fi
 
-echo "== tier-1: ThreadSanitizer build + parallel-runtime tests =="
+echo "== tier-1: ThreadSanitizer build + parallel-runtime/obs tests =="
 cmake -B build-tsan -S . -DPDW_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target pdw_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/pdw_tests \
-  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*'
+  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*:ObsTrace.*:ObsMetrics.*:ObsLogging.*'
 
 echo "== tier-1: OK =="

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/wash_path_ilp.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "wash/contamination.h"
@@ -22,10 +23,10 @@ double secondsSince(Clock::time_point t0) {
 }
 
 /// Routing outcome of one wash operation (slot-per-index: workers write
-/// only their own element, results merge in operation order).
+/// only their own element, results merge in operation order). Per-call
+/// routing stats live in the obs registry, not here.
 struct RouteOutcome {
   std::optional<arch::FlowPath> path;
-  core::WashPathStats stats;
   bool cache_hit = false;
 };
 
@@ -39,6 +40,7 @@ RouteOutcome routeOperation(const arch::ChipLayout& chip,
     key = core::RouteCache::makeKey(chip, targets, options.use_ilp_paths,
                                     options.path);
     if (auto cached = cache->lookup(key)) {
+      PDW_TRACE_INSTANT("routing", "cache_hit");
       out.path = std::move(*cached);
       out.cache_hit = true;
       return out;
@@ -46,7 +48,7 @@ RouteOutcome routeOperation(const arch::ChipLayout& chip,
   }
 
   if (options.use_ilp_paths) {
-    out.path = core::routeWashPathIlp(chip, targets, options.path, &out.stats);
+    out.path = core::routeWashPathIlp(chip, targets, options.path);
   } else {
     out.path = core::routeWashPathHeuristic(chip, targets);
   }
@@ -59,9 +61,38 @@ RouteOutcome routeOperation(const arch::ChipLayout& chip,
   return out;
 }
 
+/// Fold the per-run registry delta into the result: the metrics snapshot
+/// itself, the path_* solver stats (views over pdw.path_ilp.*), and the
+/// per-stage duration histograms.
+void finalizeMetrics(PdwResult& result,
+                     const obs::MetricsSnapshot& baseline) {
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Histogram& analysis_h =
+      reg.histogram("pdw.stage.analysis_seconds");
+  static obs::Histogram& clustering_h =
+      reg.histogram("pdw.stage.clustering_seconds");
+  static obs::Histogram& routing_h =
+      reg.histogram("pdw.stage.routing_seconds");
+  static obs::Histogram& scheduling_h =
+      reg.histogram("pdw.stage.scheduling_seconds");
+  analysis_h.observe(result.timings.analysis_s);
+  clustering_h.observe(result.timings.clustering_s);
+  routing_h.observe(result.timings.routing_s);
+  scheduling_h.observe(result.timings.scheduling_s);
+
+  result.metrics = reg.snapshot().since(baseline);
+  result.solver.path_ilp_solves =
+      static_cast<int>(result.metrics.counter("pdw.path_ilp.solves"));
+  result.solver.path_connectivity_cuts = static_cast<int>(
+      result.metrics.counter("pdw.path_ilp.connectivity_cuts"));
+  result.solver.path_fallbacks =
+      static_cast<int>(result.metrics.counter("pdw.path_ilp.fallbacks"));
+}
+
 }  // namespace
 
 Pipeline::Pipeline(core::PdwOptions options) : options_(std::move(options)) {
+  obs::setThreadName("pdw-main");
   if (options_.num_threads <= 0)
     options_.num_threads = util::ThreadPool::hardwareConcurrency();
 
@@ -103,6 +134,9 @@ core::RouteCacheStats Pipeline::cacheStats() const {
 
 PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   const auto run_start = Clock::now();
+  PDW_TRACE_SPAN("pipeline", "run");
+  obs::Registry& reg = obs::Registry::instance();
+  const obs::MetricsSnapshot metrics_before = reg.snapshot();
   PdwResult result;
   result.plan.method = "PDW";
   result.threads = pool_->size();
@@ -110,10 +144,20 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
 
   // 1. Contamination replay + necessity analysis (eqs. 9-11).
   auto stage_start = Clock::now();
-  const wash::ContaminationTracker tracker(base);
-  wash::NecessityResult necessity =
-      analyzeWashNecessity(tracker, options_.necessity);
+  wash::NecessityResult necessity;
+  {
+    PDW_TRACE_SPAN("pipeline", "necessity_analysis");
+    const wash::ContaminationTracker tracker(base);
+    necessity = analyzeWashNecessity(tracker, options_.necessity);
+  }
   result.plan.necessity = necessity.stats;
+  reg.counter("pdw.necessity.targets").add(necessity.stats.targets);
+  reg.counter("pdw.necessity.skipped_type1")
+      .add(necessity.stats.skipped_type1);
+  reg.counter("pdw.necessity.skipped_type2")
+      .add(necessity.stats.skipped_type2);
+  reg.counter("pdw.necessity.skipped_type3")
+      .add(necessity.stats.skipped_type3);
   result.timings.analysis_s = secondsSince(stage_start);
 
   if (necessity.targets.empty()) {
@@ -121,14 +165,19 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     result.plan.proven_optimal = true;
     result.timings.total_s = secondsSince(run_start);
     result.plan.solve_seconds = result.timings.total_s;
+    finalizeMetrics(result, metrics_before);
     return result;
   }
 
   // 2. Cluster targets into wash operations.
   stage_start = Clock::now();
-  std::vector<wash::WashOperation> washes =
-      clusterTargets(std::move(necessity.targets), options_.cluster);
+  std::vector<wash::WashOperation> washes;
+  {
+    PDW_TRACE_SPAN("pipeline", "clustering");
+    washes = clusterTargets(std::move(necessity.targets), options_.cluster);
+  }
   result.wash_operations = static_cast<int>(washes.size());
+  reg.counter("pdw.cluster.operations").add(result.wash_operations);
   result.timings.clustering_s = secondsSince(stage_start);
 
   // 3. Route a wash path per operation (eqs. 12-15), in parallel: the
@@ -140,10 +189,14 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   std::vector<std::vector<arch::Cell>> target_cells(washes.size());
   for (std::size_t i = 0; i < washes.size(); ++i)
     target_cells[i] = washes[i].targetCells();
-  pool_->parallelFor(washes.size(), [&](std::size_t i) {
-    outcomes[i] = routeOperation(base.chip(), target_cells[i], options_,
-                                 cache_.get());
-  });
+  {
+    PDW_TRACE_SPAN("pipeline", "routing");
+    pool_->parallelFor(washes.size(), [&](std::size_t i) {
+      PDW_TRACE_SPAN_ID("routing", "wash_op", i);
+      outcomes[i] = routeOperation(base.chip(), target_cells[i], options_,
+                                   cache_.get());
+    });
+  }
   for (std::size_t i = 0; i < washes.size(); ++i) {
     const RouteOutcome& out = outcomes[i];
     PDW_LOG(Debug, "pdw") << "wash path ("
@@ -153,9 +206,6 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
                           << " targets"
                           << (out.cache_hit ? " [cache]" : "");
     if (out.path) washes[i].path = *out.path;
-    result.solver.path_ilp_solves += out.stats.ilp_solves;
-    result.solver.path_connectivity_cuts += out.stats.connectivity_cuts;
-    if (out.stats.used_fallback) ++result.solver.path_fallbacks;
   }
   // Drop unroutable operations only if truly unreachable (logged loudly:
   // this indicates a malformed chip).
@@ -169,10 +219,15 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     }
     routed.push_back(std::move(w));
   }
+  if (result.unroutable_operations > 0)
+    reg.counter("pdw.routing.unroutable_operations")
+        .add(result.unroutable_operations);
   result.timings.routing_s = secondsSince(stage_start);
 
   // 4. Re-time everything with the scheduling ILP (eqs. 1-8, 16-26).
   stage_start = Clock::now();
+  {
+  PDW_TRACE_SPAN("pipeline", "scheduling");
   bool scheduled = false;
   if (options_.use_ilp_schedule) {
     core::ScheduleIlpOptions ilp_options;
@@ -206,8 +261,10 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   }
   if (!scheduled) {
     result.solver.schedule_greedy_fallback = true;
+    reg.counter("pdw.schedule_ilp.greedy_fallbacks").increment();
     result.plan.schedule =
         wash::rescheduleWithWashes(base, routed, options_.wash, pool_.get());
+  }
   }
   result.timings.scheduling_s = secondsSince(stage_start);
 
@@ -220,6 +277,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   result.cache.inserts = cache_after.inserts - cache_before.inserts;
   result.cache.evictions = cache_after.evictions - cache_before.evictions;
 
+  finalizeMetrics(result, metrics_before);
   return result;
 }
 

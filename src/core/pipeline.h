@@ -26,6 +26,7 @@
 #include "core/pathdriver_wash.h"
 #include "core/route_cache.h"
 #include "ilp/types.h"
+#include "obs/metrics.h"
 #include "wash/plan.h"
 
 namespace pdw {
@@ -49,7 +50,9 @@ struct PipelineSolverStats {
   ilp::SolveStats schedule;
   bool schedule_ilp_success = false;
   bool schedule_greedy_fallback = false;
-  /// Wash-path routing totals over all operations.
+  /// Wash-path routing totals over all operations. These are views over the
+  /// obs metrics registry: run() fills them from the per-run delta of the
+  /// pdw.path_ilp.* counters rather than keeping separate books.
   int path_ilp_solves = 0;
   int path_connectivity_cuts = 0;
   int path_fallbacks = 0;  ///< operations that used the BFS fallback
@@ -62,6 +65,11 @@ struct PdwResult {
   PipelineSolverStats solver;
   /// Route-cache activity during this run (deltas, not lifetime totals).
   core::RouteCacheStats cache;
+  /// Every registry metric as a per-run delta (counters and histograms are
+  /// this run's contribution; gauges are their value at run() end). Caveat:
+  /// the registry is process-wide, so concurrent run() calls on *different*
+  /// Pipeline instances fold into each other's deltas.
+  obs::MetricsSnapshot metrics;
   int threads = 1;             ///< execution lanes used
   int wash_operations = 0;     ///< clustered wash operations routed
   int unroutable_operations = 0;  ///< dropped (malformed chip; logged)

@@ -4,10 +4,38 @@
 #include <set>
 
 #include "core/wash_path_ilp.h"
+#include "obs/metrics.h"
 
 namespace pdw::core {
 
 namespace {
+
+// Per-instance stats_ stay authoritative for this cache object; the same
+// events are mirrored into the process-wide registry so trace/metrics
+// exports see cache behavior without a handle on the instance.
+obs::Counter& hitCounter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdw.route_cache.hits");
+  return c;
+}
+
+obs::Counter& missCounter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdw.route_cache.misses");
+  return c;
+}
+
+obs::Counter& insertCounter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdw.route_cache.inserts");
+  return c;
+}
+
+obs::Counter& evictionCounter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pdw.route_cache.evictions");
+  return c;
+}
 
 /// splitmix64: cheap, well-distributed 64-bit mixer.
 std::uint64_t mix(std::uint64_t x) {
@@ -53,9 +81,11 @@ std::optional<std::optional<arch::FlowPath>> RouteCache::lookup(
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    missCounter().increment();
     return std::nullopt;
   }
   ++stats_.hits;
+  hitCounter().increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->path;
 }
@@ -72,10 +102,12 @@ void RouteCache::insert(const RouteKey& key,
   lru_.push_front(Entry{key, std::move(path)});
   map_.emplace(key, lru_.begin());
   ++stats_.inserts;
+  insertCounter().increment();
   if (map_.size() > capacity_) {
     map_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    evictionCounter().increment();
   }
 }
 

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "ilp/solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "wash/contamination.h"
 #include "wash/rescheduler.h"
@@ -45,6 +47,7 @@ class Builder {
   Builder(const AssaySchedule& base, const std::vector<WashOperation>& washes,
           const ScheduleIlpOptions& options)
       : base_(base), washes_(washes), options_(options) {
+    PDW_TRACE_SPAN("scheduling", "greedy_warm_start");
     double wash_total = 0.0;
     for (const WashOperation& w : washes_)
       wash_total += w.duration(options_.wash, base_.chip().pitchMm());
@@ -55,15 +58,23 @@ class Builder {
   }
 
   ScheduleIlpResult solve() {
-    buildTimeVariables();
-    buildPsiVariables();
-    defineEnds();
-    buildOpConstraints();
-    buildTaskConstraints();
-    buildWashConstraints();
-    buildIntegrationWindows();
-    buildConflicts();
-    buildObjective();
+    {
+      PDW_TRACE_SPAN("scheduling", "build_model");
+      buildTimeVariables();
+      buildPsiVariables();
+      defineEnds();
+      buildOpConstraints();
+      buildTaskConstraints();
+      buildWashConstraints();
+      buildIntegrationWindows();
+      buildConflicts();
+      buildObjective();
+    }
+    obs::Registry& reg = obs::Registry::instance();
+    reg.gauge("pdw.schedule_ilp.order_binaries")
+        .set(static_cast<double>(num_order_binaries_));
+    reg.gauge("pdw.schedule_ilp.psi_vars")
+        .set(static_cast<double>(psi_count_));
 
     ScheduleIlpResult result;
     result.num_order_binaries = num_order_binaries_;
@@ -86,7 +97,10 @@ class Builder {
       const double v = warm[static_cast<std::size_t>(ob.var)];
       fixed.setBounds(ob.var, v, v);
     }
-    ilp::Solution best = ilp::solve(fixed, params_a);
+    ilp::Solution best = [&] {
+      PDW_TRACE_SPAN("scheduling", "phase_a_fixed_orders");
+      return ilp::solve(fixed, params_a);
+    }();
     result.stats = best.stats;
 
     // Phase B — full model with free orders, warm-started from phase A.
@@ -94,7 +108,10 @@ class Builder {
     params_b.time_limit_seconds = std::max(
         0.5, options_.solver.time_limit_seconds - params_a.time_limit_seconds);
     params_b.warm_start = best.hasSolution() ? best.values : warm;
-    const ilp::Solution full = ilp::solve(model_, params_b);
+    const ilp::Solution full = [&] {
+      PDW_TRACE_SPAN("scheduling", "phase_b_full_model");
+      return ilp::solve(model_, params_b);
+    }();
     result.stats.nodes_explored += full.stats.nodes_explored;
     result.stats.simplex_iterations += full.stats.simplex_iterations;
     result.stats.wall_seconds += full.stats.wall_seconds;

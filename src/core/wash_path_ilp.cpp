@@ -6,6 +6,8 @@
 
 #include "arch/router.h"
 #include "ilp/solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pdw::core {
@@ -257,6 +259,14 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
   WashPathStats local;
   WashPathStats& s = stats ? *stats : local;
   if (targets.empty()) return std::nullopt;
+  PDW_TRACE_SPAN("routing", "path_ilp");
+  // The per-call WashPathStats out-param serves direct callers (unit tests);
+  // the registry carries the same events as process-wide totals, which the
+  // pipeline reads back as per-run deltas.
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Counter& ilp_solves = reg.counter("pdw.path_ilp.solves");
+  static obs::Counter& cuts = reg.counter("pdw.path_ilp.connectivity_cuts");
+  static obs::Counter& fallbacks = reg.counter("pdw.path_ilp.fallbacks");
 
   std::optional<FlowPath> ilp_path;
   for (const bool whole_grid : {false, true}) {
@@ -268,6 +278,7 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
     // Lazy connectivity-cut loop.
     for (int round = 0; round < 25 && !ilp_path; ++round) {
       ++s.ilp_solves;
+      ilp_solves.increment();
       const ilp::Solution sol = ilp::solve(pm.model, options.solver);
       if (!sol.hasSolution()) break;  // infeasible/limits: try wider region
       Extraction ex = extractPath(chip, pm, sol);
@@ -283,6 +294,8 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
           cut, static_cast<double>(ex.cycle_component.size()) - 1.0,
           "connectivity_cut");
       ++s.connectivity_cuts;
+      cuts.increment();
+      PDW_TRACE_INSTANT("routing", "connectivity_cut");
     }
     if (ilp_path) break;
   }
@@ -294,6 +307,7 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
   std::optional<FlowPath> heuristic = routeWashPathHeuristic(chip, targets);
   if (!ilp_path) {
     s.used_fallback = true;
+    fallbacks.increment();
     return heuristic;
   }
   if (heuristic && heuristic->size() < ilp_path->size()) return heuristic;
@@ -303,6 +317,10 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
 std::optional<FlowPath> routeWashPathHeuristic(
     const ChipLayout& chip, const std::vector<Cell>& targets) {
   if (targets.empty()) return std::nullopt;
+  PDW_TRACE_SPAN("routing", "path_bfs");
+  static obs::Counter& routes =
+      obs::Registry::instance().counter("pdw.path_bfs.routes");
+  routes.increment();
   arch::Router router(chip);
 
   // First pass blocks foreign devices (devices that are not wash targets);

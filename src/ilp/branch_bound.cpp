@@ -8,11 +8,30 @@
 #include <thread>
 
 #include "ilp/simplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pdw::ilp {
 
 namespace {
+
+/// Fold one finished MIP solve into the registry. Counters are batched here
+/// — once per solve, from the already-collected SolveStats — so the search
+/// loop itself carries no per-node instrumentation cost.
+void recordMipSolve(const Solution& result, double wall_seconds) {
+  obs::Registry& reg = obs::Registry::instance();
+  static obs::Counter& solves = reg.counter("ilp.bb.solves");
+  static obs::Counter& nodes = reg.counter("ilp.bb.nodes");
+  static obs::Counter& diver_nodes = reg.counter("ilp.bb.diver_nodes");
+  static obs::Counter& certified = reg.counter("ilp.bb.race_certified");
+  static obs::Histogram& seconds = reg.histogram("ilp.solve_seconds");
+  solves.increment();
+  nodes.add(result.stats.nodes_explored);
+  diver_nodes.add(result.stats.portfolio_nodes);
+  if (result.stats.race_certified) certified.increment();
+  seconds.observe(wall_seconds);
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -389,6 +408,12 @@ class BranchAndBound {
 }  // namespace
 
 Solution solveMip(const Model& model, const SolveParams& params) {
+  PDW_TRACE_SPAN("ilp", "solve_mip");
+  const auto start = Clock::now();
+  const auto wallSeconds = [start] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
   if (model.numIntegerVars() == 0) {
     LpResult lp = solveLp(model, params);
     Solution result;
@@ -410,6 +435,7 @@ Solution solveMip(const Model& model, const SolveParams& params) {
         result.status = SolveStatus::IterLimit;
         break;
     }
+    recordMipSolve(result, wallSeconds());
     return result;
   }
 
@@ -422,11 +448,17 @@ Solution solveMip(const Model& model, const SolveParams& params) {
     RaceState race;
     Solution diver_result;
     std::thread diver([&] {
+      obs::setThreadName("pdw-diver");
+      PDW_TRACE_SPAN("ilp", "diver_lane");
       BranchAndBound d(model, params, Strategy::DepthFirst, &race);
       diver_result = d.run();
     });
-    BranchAndBound canonical(model, params, Strategy::BestBound, &race);
-    Solution result = canonical.run();
+    Solution result;
+    {
+      PDW_TRACE_SPAN("ilp", "canonical_lane");
+      BranchAndBound canonical(model, params, Strategy::BestBound, &race);
+      result = canonical.run();
+    }
     race.cancel.store(true, std::memory_order_release);
     diver.join();
     result.stats.portfolio_nodes = diver_result.stats.nodes_explored;
@@ -439,11 +471,18 @@ Solution solveMip(const Model& model, const SolveParams& params) {
       result.status = SolveStatus::Optimal;
       result.stats.race_certified = true;
     }
+    recordMipSolve(result, wallSeconds());
     return result;
   }
 
-  BranchAndBound solver(model, params);
-  return solver.run();
+  Solution result;
+  {
+    PDW_TRACE_SPAN("ilp", "canonical_lane");
+    BranchAndBound solver(model, params);
+    result = solver.run();
+  }
+  recordMipSolve(result, wallSeconds());
+  return result;
 }
 
 }  // namespace pdw::ilp

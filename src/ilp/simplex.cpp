@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace pdw::ilp {
@@ -467,7 +468,16 @@ LpResult solveLp(const Model& model, const SolveParams& params,
                  const std::vector<double>* lower_override,
                  const std::vector<double>* upper_override) {
   Simplex simplex(model, params, lower_override, upper_override);
-  return simplex.run();
+  LpResult result = simplex.run();
+  // Batched per call, not per pivot: solveLp is the hot path under branch &
+  // bound, so the instrumentation is two relaxed adds per LP.
+  static obs::Counter& calls =
+      obs::Registry::instance().counter("ilp.simplex.calls");
+  static obs::Counter& iterations =
+      obs::Registry::instance().counter("ilp.simplex.iterations");
+  calls.increment();
+  iterations.add(result.iterations);
+  return result;
 }
 
 }  // namespace pdw::ilp

@@ -1,0 +1,224 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace pdw::obs::json {
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> value = parseValue();
+    if (!value) return std::nullopt;
+    skipSpace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Value> parseValue() {
+    skipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return parseString();
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        return makeBool(true);
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        return makeBool(false);
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return Value{};
+      default: return parseNumber();
+    }
+  }
+
+  static Value makeBool(bool b) {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  std::optional<Value> parseObject() {
+    ++pos_;  // '{'
+    Value v;
+    v.kind = Value::Kind::Object;
+    skipSpace();
+    if (consume('}')) return v;
+    for (;;) {
+      skipSpace();
+      std::optional<Value> key = parseString();
+      if (!key || !consume(':')) return std::nullopt;
+      std::optional<Value> member = parseValue();
+      if (!member) return std::nullopt;
+      v.object.emplace(std::move(key->string), std::move(*member));
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parseArray() {
+    ++pos_;  // '['
+    Value v;
+    v.kind = Value::Kind::Array;
+    skipSpace();
+    if (consume(']')) return v;
+    for (;;) {
+      std::optional<Value> element = parseValue();
+      if (!element) return std::nullopt;
+      v.array.push_back(std::move(*element));
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parseString() {
+    skipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    Value v;
+    v.kind = Value::Kind::String;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              return std::nullopt;
+          }
+          appendUtf8(v.string, code);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  static void appendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::optional<Value> parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    Value v;
+    v.kind = Value::Kind::Number;
+    const auto result = std::from_chars(text_.data() + start,
+                                        text_.data() + pos_, v.number);
+    if (result.ec != std::errc() || result.ptr != text_.data() + pos_)
+      return std::nullopt;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace pdw::obs::json

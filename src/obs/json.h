@@ -1,0 +1,49 @@
+// Minimal JSON support for the observability exporters and their checkers.
+//
+// Writing: quote() escapes a string per RFC 8259 (the exporters assemble
+// their documents by hand — the schemas are flat and fixed). Reading: a
+// small recursive-descent parser into a tagged Value tree, enough to
+// round-trip the trace/metrics exports in tests and to validate them in
+// tools/obs_check. Not a general-purpose JSON library: numbers are doubles,
+// \uXXXX escapes decode the BMP only, and inputs are trusted to be small.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdw::obs::json {
+
+/// Escape `text` and wrap it in double quotes.
+std::string quote(std::string_view text);
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool isObject() const { return kind == Kind::Object; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isString() const { return kind == Kind::String; }
+  bool isNumber() const { return kind == Kind::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parse a complete JSON document. nullopt on any syntax error or trailing
+/// garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace pdw::obs::json

@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace pdw::obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (std::atomic<double>::fetch_add is
+/// C++20 but not universally lock-free-lowered; the CAS loop always is).
+void atomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+int bucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const int exponent = std::ilogb(value) + 1;
+  return exponent >= Histogram::kBuckets ? Histogram::kBuckets - 1
+                                         : exponent;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(sum_, value);
+  atomicMin(min_, value);
+  atomicMax(max_, value);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(kEmptyMax, std::memory_order_relaxed);
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = values.find(std::string(name));
+  return it == values.end() || it->second.kind != MetricValue::Kind::Counter
+             ? 0
+             : it->second.count;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = values.find(std::string(name));
+  return it == values.end() || it->second.kind != MetricValue::Kind::Gauge
+             ? 0.0
+             : it->second.value;
+}
+
+MetricsSnapshot MetricsSnapshot::since(
+    const MetricsSnapshot& baseline) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.values) {
+    const auto it = baseline.values.find(name);
+    if (it == baseline.values.end()) continue;
+    const MetricValue& before = it->second;
+    switch (value.kind) {
+      case MetricValue::Kind::Counter:
+        value.count -= before.count;
+        break;
+      case MetricValue::Kind::Gauge:
+        break;  // point-in-time reading: keep the current value
+      case MetricValue::Kind::Histogram:
+        value.count -= before.count;
+        value.value -= before.value;
+        for (std::size_t i = 0;
+             i < value.buckets.size() && i < before.buckets.size(); ++i)
+          value.buckets[i] -= before.buckets[i];
+        break;
+    }
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\"schema\":\"pdw-metrics-1\",\"metrics\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name);
+    out += ':';
+    switch (value.kind) {
+      case MetricValue::Kind::Counter:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value.count));
+        out += "{\"type\":\"counter\",\"value\":";
+        out += buf;
+        out += '}';
+        break;
+      case MetricValue::Kind::Gauge:
+        std::snprintf(buf, sizeof(buf), "%.9g", value.value);
+        out += "{\"type\":\"gauge\",\"value\":";
+        out += buf;
+        out += '}';
+        break;
+      case MetricValue::Kind::Histogram:
+        out += "{\"type\":\"histogram\",\"count\":";
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value.count));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"sum\":%.9g", value.value);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"min\":%.9g,\"max\":%.9g",
+                      value.min, value.max);
+        out += buf;
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < value.buckets.size(); ++i) {
+          if (i != 0) out += ',';
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(value.buckets[i]));
+          out += buf;
+        }
+        out += "]}";
+        break;
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::instance() {
+  // Leaked singleton: metric handles must stay valid during static
+  // destruction (worker threads may still be counting).
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::Counter;
+    v.count = counter->value();
+    snap.values.emplace(name, std::move(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::Gauge;
+    v.value = gauge->value();
+    snap.values.emplace(name, std::move(v));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::Histogram;
+    v.count = histogram->count();
+    v.value = histogram->sum();
+    v.min = histogram->min();
+    v.max = histogram->max();
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && histogram->bucket(last) == 0) --last;
+    v.buckets.reserve(static_cast<std::size_t>(last) + 1);
+    for (int i = 0; i <= last; ++i) v.buckets.push_back(histogram->bucket(i));
+    snap.values.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+bool Registry::writeJson(const std::string& path) const {
+  const std::string text = exportJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace pdw::obs

@@ -1,0 +1,151 @@
+// pdw::obs — metrics registry.
+//
+// A process-wide registry of named counters, gauges and histograms, built
+// for hot solver loops: a metric handle is looked up once (call sites cache
+// the returned reference, typically in a function-local static) and every
+// update after that is a single relaxed atomic operation — no locks, no
+// allocation, safe from any thread. Handles are stable for the process
+// lifetime; reset() zeroes values but never invalidates a reference.
+//
+// Naming convention: dot-separated "<subsystem>.<what>[_<unit>]", e.g.
+// "ilp.bb.nodes", "pdw.stage.routing_seconds". The full name table lives in
+// DESIGN.md §10. Readings are exported as a MetricsSnapshot — a plain value
+// map that can be diffed against an earlier snapshot (per-run deltas) and
+// serialized to JSON. The pipeline's per-run stat structs are views over
+// such deltas rather than separately maintained books.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdw::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucket histogram: bucket 0 counts observations < 1, bucket
+/// i counts [2^(i-1), 2^i). Unitless by design — the metric name carries
+/// the unit. Tracks count / sum / min / max alongside the buckets.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void observe(double value);
+
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 while empty (the ±inf identity values never leak into readings).
+  double min() const {
+    const double v = min_.load(std::memory_order_relaxed);
+    return v == kEmptyMin ? 0.0 : v;
+  }
+  double max() const {
+    const double v = max_.load(std::memory_order_relaxed);
+    return v == kEmptyMax ? 0.0 : v;
+  }
+  std::int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  // ±inf identities make concurrent first observations race-free: every
+  // observe() is a plain CAS-min/CAS-max, no seeding branch.
+  static constexpr double kEmptyMin =
+      std::numeric_limits<double>::infinity();
+  static constexpr double kEmptyMax =
+      -std::numeric_limits<double>::infinity();
+
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{kEmptyMin};
+  std::atomic<double> max_{kEmptyMax};
+};
+
+/// One exported reading.
+struct MetricValue {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind kind = Kind::Counter;
+  std::int64_t count = 0;  ///< counter value, or histogram observation count
+  double value = 0.0;      ///< gauge value, or histogram sum
+  double min = 0.0;        ///< histogram only
+  double max = 0.0;        ///< histogram only
+  std::vector<std::int64_t> buckets;  ///< histogram only (trailing zeros cut)
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, MetricValue> values;
+
+  /// Counter reading by name; 0 when absent.
+  std::int64_t counter(std::string_view name) const;
+  /// Gauge reading by name; 0.0 when absent.
+  double gauge(std::string_view name) const;
+
+  /// This snapshot minus `baseline`: counters and histogram counts/sums
+  /// subtract (metrics absent from the baseline pass through); gauges and
+  /// histogram min/max keep this snapshot's reading.
+  MetricsSnapshot since(const MetricsSnapshot& baseline) const;
+
+  /// {"schema":"pdw-metrics-1","metrics":{name:{...}}}, keys sorted.
+  std::string toJson() const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry.
+  static Registry& instance();
+
+  /// Find-or-create. The returned reference is valid forever; kind
+  /// mismatches on one name are a programming error (first kind wins, and
+  /// the name gets one entry per kind in the export).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  std::string exportJson() const { return snapshot().toJson(); }
+  bool writeJson(const std::string& path) const;
+
+  /// Zero every registered metric (references stay valid).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pdw::obs

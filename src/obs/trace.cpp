@@ -1,0 +1,249 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace pdw::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kChunkEvents = 1024;
+/// Soft cap per thread (~1M events); beyond it events are counted as
+/// dropped rather than recorded, so a runaway trace cannot exhaust memory.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+/// Per-thread event buffer. Only the owning thread appends; a slot write is
+/// published by a release store of `size`, so collectors that acquire `size`
+/// see fully-written events without taking a lock on the append path. The
+/// mutex guards only the chunk table (growth by the owner, reads by
+/// collectors).
+struct ThreadBuffer {
+  using Chunk = std::array<TraceEvent, kChunkEvents>;
+
+  std::uint32_t tid = 0;
+  mutable std::mutex chunk_mutex;
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::int64_t> dropped{0};
+
+  void append(TraceEvent event) {
+    const std::size_t i = size.load(std::memory_order_relaxed);
+    if (i >= kMaxEventsPerThread) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t chunk = i / kChunkEvents;
+    if (chunk >= chunks.size()) {
+      std::lock_guard<std::mutex> lock(chunk_mutex);
+      chunks.push_back(std::make_unique<Chunk>());
+    }
+    (*chunks[chunk])[i % kChunkEvents] = std::move(event);
+    size.store(i + 1, std::memory_order_release);
+  }
+
+  void collect(std::vector<TraceEvent>& out) const {
+    std::lock_guard<std::mutex> lock(chunk_mutex);
+    const std::size_t n = size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back((*chunks[i / kChunkEvents])[i % kChunkEvents]);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(chunk_mutex);
+    size.store(0, std::memory_order_release);
+    dropped.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  Clock::time_point epoch = Clock::now();
+  std::mutex mutex;  ///< guards buffers / names / next_tid
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::map<std::uint32_t, std::string> names;
+  std::uint32_t next_tid = 1;
+};
+
+TraceState& state() {
+  // Leaked singleton: worker threads may record during static destruction.
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+ThreadBuffer& localBuffer() {
+  // The registry holds a shared_ptr too, so the buffer (and its recorded
+  // events) outlives the thread.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::uint64_t nowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            state().epoch)
+          .count());
+}
+
+/// Open spans of the calling thread, so the end event can carry the same
+/// category/name as its begin (viewers tolerate nameless 'E' events, our
+/// JSON checker does not have to).
+thread_local std::vector<std::pair<const char*, std::string>> t_open_spans;
+
+}  // namespace
+
+bool tracingEnabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void setTracingEnabled(bool enabled) {
+  state().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint32_t currentThreadId() { return localBuffer().tid; }
+
+void setThreadName(std::string_view name) {
+  const std::uint32_t tid = currentThreadId();
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.names[tid] = std::string(name);
+}
+
+std::vector<TraceEvent> snapshotTraceEvents() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffers = s.buffers;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& b : buffers) b->collect(events);
+  return events;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> threadNames() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return {s.names.begin(), s.names.end()};
+}
+
+std::int64_t droppedTraceEvents() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffers = s.buffers;
+  }
+  std::int64_t dropped = 0;
+  for (const auto& b : buffers)
+    dropped += b->dropped.load(std::memory_order_relaxed);
+  return dropped;
+}
+
+void clearTrace() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffers = s.buffers;
+  }
+  for (const auto& b : buffers) b->clear();
+}
+
+std::string exportTraceJson() {
+  std::vector<TraceEvent> events = snapshotTraceEvents();
+  // Viewers want begin-before-end at equal timestamps; a stable sort keeps
+  // each thread's recording order (timestamps are monotonic per thread).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& [tid, name] : threadNames()) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":";
+    out += json::quote(name);
+    out += "}}";
+  }
+  char head[96];
+  for (const TraceEvent& e : events) {
+    comma();
+    std::snprintf(head, sizeof(head),
+                  "{\"ph\":\"%c\",\"ts\":%llu,\"pid\":1,\"tid\":%u,",
+                  e.phase, static_cast<unsigned long long>(e.ts_us), e.tid);
+    out += head;
+    if (e.phase == 'i') out += "\"s\":\"t\",";
+    out += "\"cat\":";
+    out += json::quote(e.category);
+    out += ",\"name\":";
+    out += json::quote(e.name);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  out += std::to_string(droppedTraceEvents());
+  out += "}}";
+  return out;
+}
+
+bool writeTraceJson(const std::string& path) {
+  const std::string text = exportTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+namespace detail {
+
+void beginSpan(const char* category, std::string name) {
+  ThreadBuffer& b = localBuffer();
+  t_open_spans.emplace_back(category, name);
+  b.append(TraceEvent{nowUs(), b.tid, 'B', category, std::move(name)});
+}
+
+void endSpan() {
+  ThreadBuffer& b = localBuffer();
+  const char* category = "";
+  std::string name;
+  if (!t_open_spans.empty()) {
+    category = t_open_spans.back().first;
+    name = std::move(t_open_spans.back().second);
+    t_open_spans.pop_back();
+  }
+  b.append(TraceEvent{nowUs(), b.tid, 'E', category, std::move(name)});
+}
+
+void instantEvent(const char* category, std::string name) {
+  ThreadBuffer& b = localBuffer();
+  b.append(TraceEvent{nowUs(), b.tid, 'i', category, std::move(name)});
+}
+
+}  // namespace detail
+
+}  // namespace pdw::obs

@@ -1,0 +1,143 @@
+// pdw::obs — structured span tracing.
+//
+// A thread-aware span tracer: PDW_TRACE_SPAN("routing", "wash_op") records
+// a begin event on construction and an end event on scope exit into a
+// per-thread buffer (appends are lock-free: the owning thread writes a slot
+// and publishes it with one release store; exporters read up to an acquired
+// count, so recording never blocks on a collector). The collected events
+// export as Chrome trace_event JSON, loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Cost model: tracing is off by default. A disabled span site is one
+// relaxed atomic load and two untouched bytes of stack — no allocation, no
+// clock read, no buffer write (tests/test_obs.cpp locks this in by counting
+// operator-new calls). Compiling with PDW_OBS_DISABLE_TRACING removes the
+// sites entirely. When enabled, a span costs two buffer appends (one
+// steady_clock read + one small-string write each).
+//
+// This layer depends only on the C++ standard library — pdw::util sits on
+// top of it (thread-pool task spans, log-line thread ids), never the other
+// way around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdw::obs {
+
+/// One trace record. `phase` follows the Chrome trace_event vocabulary:
+/// 'B' span begin, 'E' span end, 'i' instant.
+struct TraceEvent {
+  std::uint64_t ts_us = 0;    ///< microseconds since the process trace epoch
+  std::uint32_t tid = 0;      ///< obs thread id (dense, assigned on first use)
+  char phase = 'B';
+  const char* category = "";  ///< static-lifetime string
+  std::string name;
+};
+
+/// Runtime switch. Off by default; spans and instants recorded only while
+/// enabled (an end event is still recorded for a span begun while enabled).
+bool tracingEnabled();
+void setTracingEnabled(bool enabled);
+
+/// Dense per-thread id (1-based, assigned on first obs use of the thread).
+/// Stable for the thread's lifetime; used as `tid` in exported traces.
+std::uint32_t currentThreadId();
+
+/// Name the calling thread in exported traces (Chrome `thread_name`
+/// metadata). Recorded even while tracing is disabled; last call wins.
+void setThreadName(std::string_view name);
+
+/// Copy out every recorded event, in per-thread recording order, threads
+/// concatenated. Safe to call while other threads are still recording: each
+/// thread's prefix published so far is returned.
+std::vector<TraceEvent> snapshotTraceEvents();
+
+/// All (tid, name) pairs registered via setThreadName, sorted by tid.
+std::vector<std::pair<std::uint32_t, std::string>> threadNames();
+
+/// Events recorded beyond the per-thread buffer cap are counted, not stored.
+std::int64_t droppedTraceEvents();
+
+/// Serialize everything recorded so far as Chrome trace_event JSON
+/// ({"traceEvents": [...]} object form, with thread_name metadata events).
+std::string exportTraceJson();
+
+/// exportTraceJson() to a file. Returns false on I/O failure.
+bool writeTraceJson(const std::string& path);
+
+/// Drop all recorded events (buffers are kept for reuse). Not synchronized
+/// against threads that are concurrently *recording* — quiesce first.
+void clearTrace();
+
+namespace detail {
+void beginSpan(const char* category, std::string name);
+void endSpan();
+void instantEvent(const char* category, std::string name);
+}  // namespace detail
+
+/// RAII span. Prefer the PDW_TRACE_SPAN* macros; they compile out under
+/// PDW_OBS_DISABLE_TRACING.
+class SpanGuard {
+ public:
+  SpanGuard(const char* category, const char* name) {
+    if (tracingEnabled()) {
+      detail::beginSpan(category, name);
+      active_ = true;
+    }
+  }
+  /// Formats "name#id" — the id is only stringified when tracing is on.
+  SpanGuard(const char* category, const char* name, long long id) {
+    if (tracingEnabled()) {
+      detail::beginSpan(category,
+                        std::string(name) + "#" + std::to_string(id));
+      active_ = true;
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+    if (active_) detail::endSpan();
+  }
+
+ private:
+  bool active_ = false;
+};
+
+/// Record an instant event (a point-in-time marker, 'i' phase).
+inline void traceInstant(const char* category, const char* name) {
+  if (tracingEnabled()) detail::instantEvent(category, name);
+}
+
+}  // namespace pdw::obs
+
+#define PDW_OBS_CONCAT_(a, b) a##b
+#define PDW_OBS_CONCAT(a, b) PDW_OBS_CONCAT_(a, b)
+
+#if defined(PDW_OBS_DISABLE_TRACING)
+#define PDW_TRACE_SPAN(category, name) \
+  do {                                 \
+  } while (false)
+#define PDW_TRACE_SPAN_ID(category, name, id) \
+  do {                                        \
+  } while (false)
+#define PDW_TRACE_INSTANT(category, name) \
+  do {                                    \
+  } while (false)
+#else
+/// Open a span covering the rest of the enclosing scope.
+#define PDW_TRACE_SPAN(category, name)                             \
+  ::pdw::obs::SpanGuard PDW_OBS_CONCAT(pdw_obs_span_, __LINE__) {  \
+    (category), (name)                                             \
+  }
+/// Same, with a numeric id appended to the span name ("name#42").
+#define PDW_TRACE_SPAN_ID(category, name, id)                      \
+  ::pdw::obs::SpanGuard PDW_OBS_CONCAT(pdw_obs_span_, __LINE__) {  \
+    (category), (name), static_cast<long long>(id)                 \
+  }
+#define PDW_TRACE_INSTANT(category, name) \
+  ::pdw::obs::traceInstant((category), (name))
+#endif

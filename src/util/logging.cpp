@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "obs/trace.h"
 
 namespace pdw::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_emit_mutex;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -21,12 +22,28 @@ const char* levelName(LogLevel level) {
   }
   return "?";
 }
+
+LogLevel initialLogLevel() {
+  const char* env = std::getenv("PDW_LOG_LEVEL");
+  return env != nullptr ? parseLogLevel(env) : LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initialLogLevel()};
+std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex; empty -> stderr
+
 }  // namespace
 
 LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void setLogLevel(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel reloadLogLevelFromEnv() {
+  const LogLevel level = initialLogLevel();
+  setLogLevel(level);
+  return level;
 }
 
 LogLevel parseLogLevel(std::string_view name) {
@@ -39,11 +56,32 @@ LogLevel parseLogLevel(std::string_view name) {
   return LogLevel::Warn;
 }
 
+void setLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 void emit(LogLevel level, std::string_view tag, const std::string& message) {
+  // Format the whole line first, then hand it over in ONE write, so lines
+  // from concurrent threads can interleave but never shear mid-line.
+  std::string line;
+  line.reserve(tag.size() + message.size() + 24);
+  line += '[';
+  line += levelName(level);
+  line += "] (t";
+  line += std::to_string(obs::currentThreadId());
+  line += ") ";
+  line += tag;
+  line += ": ";
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %s\n", levelName(level),
-               static_cast<int>(tag.size()), tag.data(), message.c_str());
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
 }
 }  // namespace detail
 

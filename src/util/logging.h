@@ -5,6 +5,7 @@
 // return values). The default level is Warn so tests and benches stay quiet.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -20,13 +21,24 @@ enum class LogLevel {
   Off = 5,
 };
 
-/// Global log level. Messages below this level are discarded.
+/// Global log level. Messages below this level are discarded. The initial
+/// level is read from the PDW_LOG_LEVEL environment variable at startup
+/// (Warn when unset or unknown).
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+/// Re-read PDW_LOG_LEVEL and apply it; returns the level that took effect.
+LogLevel reloadLogLevelFromEnv();
 
 /// Parse a level name ("trace", "debug", "info", "warn", "error", "off").
 /// Unknown names return Warn.
 LogLevel parseLogLevel(std::string_view name);
+
+/// Receives one fully-formatted line (trailing '\n' included) per log
+/// statement, called under the emit lock. Empty sink -> stderr. Intended
+/// for tests; keep the callback cheap.
+using LogSink = std::function<void(std::string_view)>;
+void setLogSink(LogSink sink);
 
 namespace detail {
 void emit(LogLevel level, std::string_view tag, const std::string& message);

@@ -4,8 +4,34 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pdw::util {
+
+namespace {
+
+// Handles resolved once; every update after that is one relaxed atomic.
+obs::Counter& tasksExecuted() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pool.tasks_executed");
+  return c;
+}
+
+obs::Counter& tasksStolen() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("pool.tasks_stolen");
+  return c;
+}
+
+obs::Gauge& queueDepth() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int workers = num_threads > 1 ? num_threads - 1 : 0;
@@ -44,6 +70,8 @@ void ThreadPool::submit(Task task) {
     std::lock_guard<std::mutex> qlock(q.mutex);
     q.tasks.push_back(std::move(task));
   }
+  queueDepth().set(static_cast<double>(
+      pending_.fetch_add(1, std::memory_order_relaxed) + 1));
   wake_.notify_all();
 }
 
@@ -65,6 +93,7 @@ bool ThreadPool::tryPop(std::size_t self, Task& task) {
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
+      tasksStolen().increment();
       return true;
     }
   }
@@ -72,10 +101,17 @@ bool ThreadPool::tryPop(std::size_t self, Task& task) {
 }
 
 void ThreadPool::workerLoop(std::size_t self) {
+  obs::setThreadName("pdw-worker-" + std::to_string(self + 1));
   for (;;) {
     Task task;
     if (tryPop(self, task)) {
-      task();
+      queueDepth().set(static_cast<double>(
+          pending_.fetch_sub(1, std::memory_order_relaxed) - 1));
+      {
+        PDW_TRACE_SPAN("pool", "task");
+        task();
+      }
+      tasksExecuted().increment();
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);
@@ -89,9 +125,11 @@ void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    PDW_TRACE_SPAN("pool", "parallel_for");
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  PDW_TRACE_SPAN("pool", "parallel_for");
 
   struct Batch {
     std::atomic<std::size_t> next{0};

@@ -13,8 +13,10 @@
 // reproduces the sequential behavior bit-for-bit.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -68,6 +70,7 @@ class ThreadPool {
   std::condition_variable wake_;
   std::size_t next_queue_ = 0;  // round-robin submit cursor (under wake_mutex_)
   bool stopping_ = false;
+  std::atomic<std::int64_t> pending_{0};  // queued tasks (pool.queue_depth)
 };
 
 }  // namespace pdw::util

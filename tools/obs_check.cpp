@@ -1,0 +1,189 @@
+// obs_check — validates pdw_cli's observability exports (scripts/tier1.sh).
+//
+//   obs_check --trace t.json --metrics m.json [--expect-workers N]
+//
+// Trace checks: parses as Chrome trace_event JSON (object form), every
+// event carries ph/ts/pid/tid, begin/end counts balance with proper nesting
+// per thread, the four pipeline stage spans and at least one per-operation
+// wash_op span are present, and (with --expect-workers) N distinct
+// pdw-worker threads are registered. Metrics checks: schema tag plus the
+// core solver/pipeline keys with sane values. Exits non-zero with one line
+// per failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using pdw::obs::json::Value;
+
+int failures = 0;
+
+void fail(const std::string& message) {
+  std::fprintf(stderr, "obs_check: FAIL: %s\n", message.c_str());
+  ++failures;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void checkTrace(const std::string& path, int expect_workers) {
+  const std::string text = slurp(path);
+  if (text.empty()) return fail("trace file empty or unreadable: " + path);
+  const auto doc = pdw::obs::json::parse(text);
+  if (!doc || !doc->isObject()) return fail("trace is not a JSON object");
+  const Value* events = doc->find("traceEvents");
+  if (!events || !events->isArray())
+    return fail("trace has no traceEvents array");
+
+  // Per-tid span stack: every E must close the most recent B on its thread.
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, int> begins, ends;
+  std::set<std::string> span_names;
+  std::set<std::string> worker_names;
+  int wash_ops = 0;
+  for (const Value& e : events->array) {
+    const Value* ph = e.find("ph");
+    const Value* tid = e.find("tid");
+    if (!ph || !ph->isString() || !tid || !tid->isNumber()) {
+      fail("event missing ph or tid");
+      continue;
+    }
+    const int t = static_cast<int>(tid->number);
+    const Value* name = e.find("name");
+    const std::string n = name && name->isString() ? name->string : "";
+    if (ph->string == "M") {
+      if (n == "thread_name") {
+        const Value* args = e.find("args");
+        const Value* tn = args ? args->find("name") : nullptr;
+        if (tn && tn->isString() &&
+            tn->string.rfind("pdw-worker-", 0) == 0)
+          worker_names.insert(tn->string);
+      }
+      continue;
+    }
+    if (!e.find("ts") || !e.find("ts")->isNumber())
+      fail("event missing numeric ts");
+    if (!e.find("pid") || !e.find("pid")->isNumber())
+      fail("event missing numeric pid");
+    if (ph->string == "B") {
+      ++begins[t];
+      stacks[t].push_back(n);
+      span_names.insert(n);
+      if (n.rfind("wash_op#", 0) == 0) ++wash_ops;
+    } else if (ph->string == "E") {
+      ++ends[t];
+      if (stacks[t].empty()) {
+        fail("unbalanced E on tid " + std::to_string(t));
+      } else {
+        if (!n.empty() && stacks[t].back() != n)
+          fail("E '" + n + "' does not close B '" + stacks[t].back() +
+               "' on tid " + std::to_string(t));
+        stacks[t].pop_back();
+      }
+    }
+  }
+  for (const auto& [t, stack] : stacks)
+    if (!stack.empty())
+      fail("tid " + std::to_string(t) + " left " +
+           std::to_string(stack.size()) + " span(s) open ('" + stack.back() +
+           "')");
+  for (const auto& [t, b] : begins)
+    if (b != ends[t])
+      fail("tid " + std::to_string(t) + " has " + std::to_string(b) +
+           " begins but " + std::to_string(ends[t]) + " ends");
+
+  for (const char* stage : {"run", "necessity_analysis", "clustering",
+                            "routing", "scheduling"})
+    if (!span_names.count(stage))
+      fail(std::string("missing pipeline stage span '") + stage + "'");
+  if (wash_ops < 1) fail("no wash_op spans (expected one per routed wash)");
+  if (static_cast<int>(worker_names.size()) < expect_workers)
+    fail("expected >= " + std::to_string(expect_workers) +
+         " pdw-worker threads, found " +
+         std::to_string(worker_names.size()));
+}
+
+void checkMetrics(const std::string& path) {
+  const std::string text = slurp(path);
+  if (text.empty()) return fail("metrics file empty or unreadable: " + path);
+  const auto doc = pdw::obs::json::parse(text);
+  if (!doc || !doc->isObject()) return fail("metrics is not a JSON object");
+  const Value* schema = doc->find("schema");
+  if (!schema || !schema->isString() || schema->string != "pdw-metrics-1")
+    fail("metrics schema tag is not 'pdw-metrics-1'");
+  const Value* metrics = doc->find("metrics");
+  if (!metrics || !metrics->isObject())
+    return fail("metrics has no 'metrics' object");
+
+  for (const char* key :
+       {"pdw.necessity.targets", "pdw.cluster.operations",
+        "pdw.path_ilp.solves", "pdw.route_cache.misses", "ilp.bb.solves",
+        "ilp.bb.nodes", "ilp.simplex.calls", "ilp.simplex.iterations",
+        "ilp.solve_seconds", "pool.tasks_executed"}) {
+    const Value* entry = metrics->find(key);
+    if (!entry || !entry->isObject()) {
+      fail(std::string("missing metric '") + key + "'");
+      continue;
+    }
+    const Value* type = entry->find("type");
+    if (!type || !type->isString())
+      fail(std::string("metric '") + key + "' has no type");
+    const Value* reading = entry->find(
+        type && type->string == "histogram" ? "count" : "value");
+    if (!reading || !reading->isNumber() || reading->number < 0)
+      fail(std::string("metric '") + key +
+           "' has no non-negative reading");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  int expect_workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--trace") {
+      const char* v = next();
+      if (v) trace_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (v) metrics_path = v;
+    } else if (arg == "--expect-workers") {
+      const char* v = next();
+      if (v) expect_workers = std::atoi(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_check [--trace FILE] [--metrics FILE] "
+                   "[--expect-workers N]\n");
+      return 2;
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr, "obs_check: nothing to check\n");
+    return 2;
+  }
+  if (!trace_path.empty()) checkTrace(trace_path, expect_workers);
+  if (!metrics_path.empty()) checkMetrics(metrics_path);
+  if (failures == 0) {
+    std::fprintf(stderr, "obs_check: OK\n");
+    return 0;
+  }
+  return 1;
+}
