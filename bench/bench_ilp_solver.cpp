@@ -1,10 +1,34 @@
 // Substrate bench: scaling behaviour of the from-scratch MILP solver that
-// replaces Gurobi in this reproduction (google-benchmark microbenchmarks).
-// Families: dense LPs, 0-1 knapsacks, and big-M disjunctive scheduling
-// models (the structure of the paper's eqs. 3/8/19/20).
+// replaces Gurobi in this reproduction.
+//
+// Two modes:
+//  * google-benchmark microbenchmarks (default): dense LPs, 0-1 knapsacks,
+//    and big-M disjunctive scheduling models (the structure of the paper's
+//    eqs. 3/8/19/20).
+//  * --json-out=<path>: one timed solve per instance plus the Table-II
+//    pipeline benchmarks, emitting a `pdw-bench-1` JSON document with
+//    per-benchmark wall time, node counts, simplex iterations and the
+//    warm-dual hit rate. scripts/tier1.sh validates the document with
+//    tools/obs_check; BENCH_ilp.json at the repo root holds the committed
+//    perf baseline this series is measured against.
+//
+//      bench_ilp_solver --json-out=out.json [--quick] [--label=NAME]
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assay/benchmarks.h"
+#include "bench_common.h"
+#include "core/pipeline.h"
 #include "ilp/solver.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -18,8 +42,9 @@ ilp::SolveParams benchParams() {
   return p;
 }
 
-void BM_LpDense(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+// ---- shared model builders (used by both modes) --------------------------
+
+ilp::Model makeLpDense(int n) {
   util::Rng rng(42);
   ilp::Model model;
   std::vector<ilp::VarId> vars;
@@ -28,23 +53,17 @@ void BM_LpDense(benchmark::State& state) {
   for (int i = 0; i < n; ++i) {
     ilp::LinExpr row;
     for (int j = 0; j < n; ++j)
-      row += (1.0 + rng.uniform()) * ilp::LinExpr(vars[
-          static_cast<std::size_t>(j)]);
+      row += (1.0 + rng.uniform()) *
+             ilp::LinExpr(vars[static_cast<std::size_t>(j)]);
     model.addLessEqual(row, 5.0 * n);
   }
   ilp::LinExpr objective;
   for (ilp::VarId v : vars) objective += -1.0 * ilp::LinExpr(v);
   model.setObjective(objective);
-
-  for (auto _ : state) {
-    ilp::Solution s = ilp::solve(model, benchParams());
-    benchmark::DoNotOptimize(s.objective);
-  }
+  return model;
 }
-BENCHMARK(BM_LpDense)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
 
-void BM_MipKnapsack(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+ilp::Model makeKnapsack(int n) {
   util::Rng rng(7);
   ilp::Model model;
   ilp::LinExpr weight, value;
@@ -58,18 +77,12 @@ void BM_MipKnapsack(benchmark::State& state) {
   }
   model.addLessEqual(weight, capacity * 0.4);
   model.setObjective(-1.0 * value);
-
-  for (auto _ : state) {
-    ilp::Solution s = ilp::solve(model, benchParams());
-    benchmark::DoNotOptimize(s.objective);
-  }
+  return model;
 }
-BENCHMARK(BM_MipKnapsack)->Arg(10)->Arg(15)->Arg(20)->Arg(30);
 
-void BM_MipDisjunctiveScheduling(benchmark::State& state) {
+ilp::Model makeDisjunctiveScheduling(int n) {
   // n tasks on one resource: the big-M structure of the paper's
   // conflict-serialization constraints.
-  const int n = static_cast<int>(state.range(0));
   util::Rng rng(13);
   constexpr double kBigM = 1000.0;
   ilp::Model model;
@@ -79,9 +92,8 @@ void BM_MipDisjunctiveScheduling(benchmark::State& state) {
   for (int i = 0; i < n; ++i) {
     start.push_back(model.addContinuous(0, kBigM));
     duration.push_back(rng.intIn(1, 6));
-    model.addGreaterEqual(ilp::LinExpr(makespan) -
-                              ilp::LinExpr(start.back()),
-                          duration.back());
+    model.addGreaterEqual(
+        ilp::LinExpr(makespan) - ilp::LinExpr(start.back()), duration.back());
   }
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j) {
@@ -98,7 +110,32 @@ void BM_MipDisjunctiveScheduling(benchmark::State& state) {
           duration[static_cast<std::size_t>(j)] - kBigM);
     }
   model.setObjective(ilp::LinExpr(makespan));
+  return model;
+}
 
+// ---- google-benchmark mode ----------------------------------------------
+
+void BM_LpDense(benchmark::State& state) {
+  const ilp::Model model = makeLpDense(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ilp::Solution s = ilp::solve(model, benchParams());
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_LpDense)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_MipKnapsack(benchmark::State& state) {
+  const ilp::Model model = makeKnapsack(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ilp::Solution s = ilp::solve(model, benchParams());
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_MipKnapsack)->Arg(10)->Arg(15)->Arg(20)->Arg(30);
+
+void BM_MipDisjunctiveScheduling(benchmark::State& state) {
+  const ilp::Model model =
+      makeDisjunctiveScheduling(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     ilp::Solution s = ilp::solve(model, benchParams());
     benchmark::DoNotOptimize(s.objective);
@@ -106,6 +143,192 @@ void BM_MipDisjunctiveScheduling(benchmark::State& state) {
 }
 BENCHMARK(BM_MipDisjunctiveScheduling)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
+// ---- --json-out mode -----------------------------------------------------
+
+/// One row of the pdw-bench-1 document.
+struct BenchRecord {
+  std::string name;
+  std::string family;  // "synthetic" | "pipeline"
+  double wall_seconds = 0.0;
+  std::int64_t mip_solves = 0;
+  std::int64_t nodes = 0;
+  std::int64_t simplex_iterations = 0;
+  std::int64_t warm_hits = 0;
+  std::int64_t warm_misses = 0;
+  std::int64_t dual_pivots = 0;
+  std::int64_t rc_fixed = 0;
+
+  double warmHitRate() const {
+    const std::int64_t tried = warm_hits + warm_misses;
+    return tried > 0 ? static_cast<double>(warm_hits) /
+                           static_cast<double>(tried)
+                     : 0.0;
+  }
+};
+
+BenchRecord runSynthetic(const std::string& name, const ilp::Model& model) {
+  BenchRecord rec;
+  rec.name = name;
+  rec.family = "synthetic";
+  const auto start = std::chrono::steady_clock::now();
+  const ilp::Solution s = ilp::solve(model, benchParams());
+  rec.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  rec.mip_solves = 1;
+  rec.nodes = s.stats.nodes_explored;
+  rec.simplex_iterations = s.stats.simplex_iterations;
+  rec.warm_hits = s.stats.warm_hits;
+  rec.warm_misses = s.stats.warm_misses;
+  rec.dual_pivots = s.stats.dual_pivots;
+  rec.rc_fixed = s.stats.rc_fixed;
+  return rec;
+}
+
+/// Run one Table-II benchmark through the full single-threaded pipeline and
+/// charge the per-run `ilp.*` registry delta to the record — this covers
+/// every MIP the stage solvers issue (schedule phases A/B + path ILPs).
+BenchRecord runPipelineBenchmark(assay::BenchmarkId id) {
+  obs::Registry& reg = obs::Registry::instance();
+  const obs::MetricsSnapshot before = reg.snapshot();
+
+  assay::Benchmark b = assay::makeBenchmark(id);
+  synth::SynthResult base =
+      synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
+  core::PdwOptions options = bench::defaultBenchOptions();
+  options.num_threads = 1;  // sequential: canonical-lane solver numbers only
+  Pipeline pipeline(options);
+  const PdwResult result = pipeline.run(base.schedule);
+
+  const obs::MetricsSnapshot delta = reg.snapshot().since(before);
+  BenchRecord rec;
+  rec.name = "table2_" + b.name;
+  rec.family = "pipeline";
+  rec.wall_seconds = result.timings.total_s;
+  rec.mip_solves = delta.counter("ilp.bb.solves");
+  rec.nodes = delta.counter("ilp.bb.nodes");
+  rec.simplex_iterations = delta.counter("ilp.simplex.iterations");
+  rec.warm_hits = delta.counter("ilp.simplex.warm_hits");
+  rec.warm_misses = delta.counter("ilp.simplex.warm_misses");
+  rec.dual_pivots = delta.counter("ilp.simplex.dual_pivots");
+  rec.rc_fixed = delta.counter("ilp.bb.rc_fixed");
+  return rec;
+}
+
+void appendRecord(std::ostringstream& out, const BenchRecord& r, bool first) {
+  if (!first) out << ",\n";
+  out << "    {\"name\": " << obs::json::quote(r.name)
+      << ", \"family\": " << obs::json::quote(r.family)
+      << ", \"wall_seconds\": " << r.wall_seconds
+      << ", \"mip_solves\": " << r.mip_solves << ", \"nodes\": " << r.nodes
+      << ", \"simplex_iterations\": " << r.simplex_iterations
+      << ", \"warm_hits\": " << r.warm_hits
+      << ", \"warm_misses\": " << r.warm_misses
+      << ", \"dual_pivots\": " << r.dual_pivots
+      << ", \"rc_fixed\": " << r.rc_fixed
+      << ", \"warm_hit_rate\": " << r.warmHitRate() << "}";
+}
+
+int runJsonMode(const std::string& path, const std::string& label,
+                bool quick) {
+  std::vector<BenchRecord> records;
+
+  const std::vector<std::pair<std::string, ilp::Model>> synthetic = [&] {
+    std::vector<std::pair<std::string, ilp::Model>> suite;
+    suite.emplace_back("lp_dense_50", makeLpDense(50));
+    suite.emplace_back("knapsack_20", makeKnapsack(20));
+    if (!quick) {
+      suite.emplace_back("lp_dense_100", makeLpDense(100));
+      suite.emplace_back("knapsack_30", makeKnapsack(30));
+      suite.emplace_back("disjunctive_5", makeDisjunctiveScheduling(5));
+      suite.emplace_back("disjunctive_6", makeDisjunctiveScheduling(6));
+    } else {
+      suite.emplace_back("disjunctive_4", makeDisjunctiveScheduling(4));
+    }
+    return suite;
+  }();
+  for (const auto& [name, model] : synthetic) {
+    std::fprintf(stderr, "bench_ilp_solver: %s\n", name.c_str());
+    records.push_back(runSynthetic(name, model));
+  }
+
+  std::vector<assay::BenchmarkId> table2 = assay::allBenchmarks();
+  if (quick && table2.size() > 2) table2.resize(2);
+  for (assay::BenchmarkId id : table2) {
+    BenchRecord rec = runPipelineBenchmark(id);
+    std::fprintf(stderr, "bench_ilp_solver: %s\n", rec.name.c_str());
+    records.push_back(std::move(rec));
+  }
+
+  BenchRecord totals;
+  for (const BenchRecord& r : records) {
+    totals.wall_seconds += r.wall_seconds;
+    totals.mip_solves += r.mip_solves;
+    totals.nodes += r.nodes;
+    totals.simplex_iterations += r.simplex_iterations;
+    totals.warm_hits += r.warm_hits;
+    totals.warm_misses += r.warm_misses;
+    totals.dual_pivots += r.dual_pivots;
+    totals.rc_fixed += r.rc_fixed;
+  }
+
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"pdw-bench-1\",\n  \"label\": "
+      << obs::json::quote(label) << ",\n  \"quick\": "
+      << (quick ? "true" : "false") << ",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    appendRecord(out, records[i], i == 0);
+  out << "\n  ],\n  \"totals\": {\"wall_seconds\": " << totals.wall_seconds
+      << ", \"mip_solves\": " << totals.mip_solves
+      << ", \"nodes\": " << totals.nodes
+      << ", \"simplex_iterations\": " << totals.simplex_iterations
+      << ", \"warm_hits\": " << totals.warm_hits
+      << ", \"warm_misses\": " << totals.warm_misses
+      << ", \"dual_pivots\": " << totals.dual_pivots
+      << ", \"rc_fixed\": " << totals.rc_fixed
+      << ", \"warm_hit_rate\": " << totals.warmHitRate() << "}\n}\n";
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "bench_ilp_solver: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  file << out.str();
+  std::fprintf(stderr,
+               "bench_ilp_solver: wrote %s (%zu benchmarks, %lld iterations, "
+               "warm-hit rate %.2f)\n",
+               path.c_str(), records.size(),
+               static_cast<long long>(totals.simplex_iterations),
+               totals.warmHitRate());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_out, label = "default";
+  bool quick = false;
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(std::strlen("--json-out="));
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(std::strlen("--label="));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (!json_out.empty()) return runJsonMode(json_out, label, quick);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

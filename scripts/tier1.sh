@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite in a normal build, an
 # observability export smoke check (pdw_cli trace/metrics JSON validated by
-# tools/obs_check), then the parallel-runtime + obs tests (determinism,
-# route cache, tracing/metrics/logging) under ThreadSanitizer.
+# tools/obs_check), an ILP perf smoke (bench_ilp_solver --quick JSON
+# validated by obs_check --bench, warm-hit rate must be positive), then the
+# parallel-runtime + obs tests (determinism, route cache,
+# tracing/metrics/logging) under ThreadSanitizer.
 #
 #   scripts/tier1.sh            # all stages
 #   PDW_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSAN stage
@@ -23,6 +25,13 @@ trap 'rm -rf "$obs_dir"' EXIT
 # 4 lanes = 3 pool workers + the calling thread.
 ./build/tools/obs_check --trace "$obs_dir/trace.json" \
   --metrics "$obs_dir/metrics.json" --expect-workers 3
+
+echo "== tier-1: ILP perf smoke (bench_ilp_solver --json-out --quick) =="
+./build/bench/bench_ilp_solver --json-out="$obs_dir/bench.json" \
+  --label tier1-smoke --quick
+# Schema-validate the pdw-bench-1 document and require the warm dual path
+# to have actually fired (a silent all-cold regression fails here).
+./build/tools/obs_check --bench "$obs_dir/bench.json" --expect-warm-hits
 
 if [[ "${PDW_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== tier-1: TSAN stage skipped (PDW_SKIP_TSAN=1) =="

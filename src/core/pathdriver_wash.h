@@ -107,6 +107,15 @@ struct PdwOptions {
     return *this;
   }
 
+  /// Toggle warm dual re-solves of branch-and-bound node LPs in both ILP
+  /// stages (on by default; off forces every node through the cold primal —
+  /// an ablation/debugging knob, results are identical either way).
+  PdwOptions& withWarmNodeLps(bool enabled) {
+    schedule_solver.warm_lp = enabled;
+    path.solver.warm_lp = enabled;
+    return *this;
+  }
+
   /// Disable excess-removal integration (paper §II-B ablation).
   PdwOptions& withoutIntegration() {
     enable_integration = false;

@@ -87,6 +87,8 @@ void finalizeMetrics(PdwResult& result,
       result.metrics.counter("pdw.path_ilp.connectivity_cuts"));
   result.solver.path_fallbacks =
       static_cast<int>(result.metrics.counter("pdw.path_ilp.fallbacks"));
+  result.solver.path_warm_hits =
+      static_cast<int>(result.metrics.counter("pdw.path_ilp.warm_hits"));
 }
 
 }  // namespace

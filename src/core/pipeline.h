@@ -55,7 +55,8 @@ struct PipelineSolverStats {
   /// pdw.path_ilp.* counters rather than keeping separate books.
   int path_ilp_solves = 0;
   int path_connectivity_cuts = 0;
-  int path_fallbacks = 0;  ///< operations that used the BFS fallback
+  int path_fallbacks = 0;   ///< operations that used the BFS fallback
+  int path_warm_hits = 0;   ///< node LPs warm-solved across path ILPs
 };
 
 /// Consolidated result of one Pipeline::run().

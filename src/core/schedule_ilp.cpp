@@ -115,6 +115,11 @@ class Builder {
     result.stats.nodes_explored += full.stats.nodes_explored;
     result.stats.simplex_iterations += full.stats.simplex_iterations;
     result.stats.wall_seconds += full.stats.wall_seconds;
+    result.stats.lp_solves += full.stats.lp_solves;
+    result.stats.warm_hits += full.stats.warm_hits;
+    result.stats.warm_misses += full.stats.warm_misses;
+    result.stats.dual_pivots += full.stats.dual_pivots;
+    result.stats.rc_fixed += full.stats.rc_fixed;
     if (full.hasSolution() &&
         (!best.hasSolution() || full.objective < best.objective)) {
       best = full;

@@ -267,6 +267,7 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
   static obs::Counter& ilp_solves = reg.counter("pdw.path_ilp.solves");
   static obs::Counter& cuts = reg.counter("pdw.path_ilp.connectivity_cuts");
   static obs::Counter& fallbacks = reg.counter("pdw.path_ilp.fallbacks");
+  static obs::Counter& warm_hits = reg.counter("pdw.path_ilp.warm_hits");
 
   std::optional<FlowPath> ilp_path;
   for (const bool whole_grid : {false, true}) {
@@ -280,6 +281,7 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
       ++s.ilp_solves;
       ilp_solves.increment();
       const ilp::Solution sol = ilp::solve(pm.model, options.solver);
+      warm_hits.add(sol.stats.warm_hits);
       if (!sol.hasSolution()) break;  // infeasible/limits: try wider region
       Extraction ex = extractPath(chip, pm, sol);
       if (ex.path) {

@@ -7,6 +7,7 @@
 #include <queue>
 #include <thread>
 
+#include "ilp/dual_simplex.h"
 #include "ilp/simplex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,18 +19,35 @@ namespace {
 
 /// Fold one finished MIP solve into the registry. Counters are batched here
 /// — once per solve, from the already-collected SolveStats — so the search
-/// loop itself carries no per-node instrumentation cost.
+/// loop itself carries no per-node counter cost. The simplex call/iteration
+/// counters are only added when the solve ran node LPs through the in-tree
+/// engine (lp_solves > 0); pure-LP models delegate to solveLp, which counts
+/// itself.
 void recordMipSolve(const Solution& result, double wall_seconds) {
   obs::Registry& reg = obs::Registry::instance();
   static obs::Counter& solves = reg.counter("ilp.bb.solves");
   static obs::Counter& nodes = reg.counter("ilp.bb.nodes");
   static obs::Counter& diver_nodes = reg.counter("ilp.bb.diver_nodes");
   static obs::Counter& certified = reg.counter("ilp.bb.race_certified");
+  static obs::Counter& rc_fixed = reg.counter("ilp.bb.rc_fixed");
+  static obs::Counter& simplex_calls = reg.counter("ilp.simplex.calls");
+  static obs::Counter& simplex_iters = reg.counter("ilp.simplex.iterations");
+  static obs::Counter& warm_hits = reg.counter("ilp.simplex.warm_hits");
+  static obs::Counter& warm_misses = reg.counter("ilp.simplex.warm_misses");
+  static obs::Counter& dual_pivots = reg.counter("ilp.simplex.dual_pivots");
   static obs::Histogram& seconds = reg.histogram("ilp.solve_seconds");
   solves.increment();
   nodes.add(result.stats.nodes_explored);
   diver_nodes.add(result.stats.portfolio_nodes);
   if (result.stats.race_certified) certified.increment();
+  rc_fixed.add(result.stats.rc_fixed);
+  if (result.stats.lp_solves > 0) {
+    simplex_calls.add(result.stats.lp_solves);
+    simplex_iters.add(result.stats.simplex_iterations);
+  }
+  warm_hits.add(result.stats.warm_hits);
+  warm_misses.add(result.stats.warm_misses);
+  dual_pivots.add(result.stats.dual_pivots);
   seconds.observe(wall_seconds);
 }
 
@@ -42,13 +60,21 @@ struct Node {
   double upper = 0.0;
   double bound = -kInfinity;  ///< LP bound inherited from the parent
   int depth = 0;
+  /// Reduced-cost fixes discovered at this node (range into the shared
+  /// fix arena); they bind the whole subtree.
+  int extra_begin = 0;
+  int extra_count = 0;
 };
 
 struct QueueEntry {
   double bound;
   int node;
+  /// Best-bound first; among equal bounds, prefer the newest node (largest
+  /// id). Freshly pushed children are popped right after their parent, so
+  /// the simplex engine's warm state is usually one bound change away.
   bool operator>(const QueueEntry& other) const {
-    return bound > other.bound;
+    if (bound != other.bound) return bound > other.bound;
+    return node < other.node;
   }
 };
 
@@ -94,6 +120,7 @@ class BranchAndBound {
         params_(params),
         strategy_(strategy),
         race_(race),
+        engine_(model, params),
         start_(Clock::now()) {
     for (VarId v = 0; v < model.numVars(); ++v)
       if (model.var(v).type != VarType::Continuous) integer_vars_.push_back(v);
@@ -101,11 +128,11 @@ class BranchAndBound {
 
   Solution run() {
     Solution result;
-    base_lower_.resize(static_cast<std::size_t>(model_.numVars()));
-    base_upper_.resize(static_cast<std::size_t>(model_.numVars()));
+    lower_.resize(static_cast<std::size_t>(model_.numVars()));
+    upper_.resize(static_cast<std::size_t>(model_.numVars()));
     for (VarId v = 0; v < model_.numVars(); ++v) {
-      base_lower_[static_cast<std::size_t>(v)] = model_.var(v).lower;
-      base_upper_[static_cast<std::size_t>(v)] = model_.var(v).upper;
+      lower_[static_cast<std::size_t>(v)] = model_.var(v).lower;
+      upper_[static_cast<std::size_t>(v)] = model_.var(v).upper;
     }
 
     // Warm start: a feasible caller-provided point seeds the incumbent.
@@ -127,7 +154,12 @@ class BranchAndBound {
     }
 
     nodes_.push_back(Node{});  // root: no bound change
+    on_path_.push_back(1);
+    path_.push_back(Frame{0, 0});
     pushOpen(QueueEntry{-kInfinity, 0});
+
+    static obs::Histogram& pivots_per_node =
+        obs::Registry::instance().histogram("ilp.simplex.pivots_per_node");
 
     bool hit_limit = false;
     bool lp_trouble = false;
@@ -159,11 +191,25 @@ class BranchAndBound {
       const QueueEntry entry = popNext();
       if (entry.bound >= pruneBound() - absTol()) continue;
 
-      resolveBounds(entry.node);
+      moveTo(entry.node);
       ++stats_.nodes_explored;
 
-      LpResult lp = solveLp(model_, params_, &lower_, &upper_);
+      // Node LP: warm dual re-solve from the engine's current basis when
+      // possible, cold two-phase primal otherwise. The root is always cold
+      // (there is no prior basis) and counts as neither hit nor miss.
+      bool used_warm = false;
+      std::int64_t dual_pivots = 0;
+      LpResult lp =
+          engine_.solve(lower_, upper_, params_.warm_lp && entry.node != 0,
+                        &used_warm, &dual_pivots);
+      ++stats_.lp_solves;
       stats_.simplex_iterations += lp.iterations;
+      stats_.dual_pivots += dual_pivots;
+      if (entry.node != 0) {
+        if (used_warm) ++stats_.warm_hits;
+        else ++stats_.warm_misses;
+      }
+      pivots_per_node.observe(static_cast<double>(lp.iterations));
 
       if (lp.status == LpStatus::Infeasible) continue;
       if (lp.status == LpStatus::Unbounded) {
@@ -193,6 +239,17 @@ class BranchAndBound {
         // optimality; only the canonical search uses the gap early-stop.
         if (canonical() && gapClosed()) break;
         continue;
+      }
+
+      // Reduced-cost fixing: variables the node optimum proves immovable in
+      // any improving solution are fixed for the whole subtree (both
+      // children inherit the fixes through the node's extra range).
+      if (params_.rc_fixing && has_incumbent_) {
+        fix_buffer_.clear();
+        engine_.collectReducedCostFixes(pruneBound() - lp.objective,
+                                        params_.integrality_tol,
+                                        &fix_buffer_);
+        if (!fix_buffer_.empty()) applyRcFixes(entry.node);
       }
 
       const double value = lp.values[static_cast<std::size_t>(branch_var)];
@@ -274,6 +331,7 @@ class BranchAndBound {
     }
     const QueueEntry entry = stack_.back();
     stack_.pop_back();
+    stack_min_.pop_back();
     return entry;
   }
 
@@ -282,16 +340,20 @@ class BranchAndBound {
       open_.push(entry);
     } else {
       stack_.push_back(entry);
+      // Prefix minimum alongside the stack: bestOpenBound() in O(1).
+      stack_min_.push_back(stack_min_.empty()
+                               ? entry.bound
+                               : std::min(entry.bound, stack_min_.back()));
     }
   }
 
-  /// Tightest proven lower bound among open nodes (for stats/gap).
+  /// Tightest proven lower bound among open nodes (for stats/gap). O(1) for
+  /// both strategies: the heap's top for best-bound, the prefix-minimum for
+  /// the diver's stack.
   double bestOpenBound() const {
     if (canonical())
       return open_.empty() ? kInfinity : open_.top().bound;
-    double best = kInfinity;
-    for (const QueueEntry& e : stack_) best = std::min(best, e.bound);
-    return best;
+    return stack_min_.empty() ? kInfinity : stack_min_.back();
   }
 
   void fillStats(Solution& result) {
@@ -311,19 +373,76 @@ class BranchAndBound {
     return gap <= params_.mip_gap;
   }
 
-  /// Reconstruct the bound vectors for a node by walking its diff chain.
-  void resolveBounds(int node) {
-    lower_ = base_lower_;
-    upper_ = base_upper_;
-    chain_.clear();
-    for (int n = node; n > 0; n = nodes_[static_cast<std::size_t>(n)].parent)
-      chain_.push_back(n);
-    // Apply root-to-leaf so deeper (tighter) changes win.
-    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
-      const Node& n = nodes_[static_cast<std::size_t>(*it)];
-      lower_[static_cast<std::size_t>(n.var)] = n.lower;
-      upper_[static_cast<std::size_t>(n.var)] = n.upper;
+  // ---- incremental bound tracking ----------------------------------------
+  //
+  // The current bound vectors mirror one root-to-node path of the tree.
+  // Moving to another node undoes bound changes up to the lowest common
+  // ancestor and applies the target's chain from there — O(path distance)
+  // instead of the two full O(n) vector copies a per-node rebuild costs.
+
+  struct Frame {
+    int node = -1;
+    std::size_t undo_begin = 0;  ///< first undo_ entry owned by this frame
+  };
+  struct Undo {
+    VarId var = -1;
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+
+  void setCurrentBounds(VarId var, double lower, double upper) {
+    undo_.push_back(Undo{var, lower_[static_cast<std::size_t>(var)],
+                         upper_[static_cast<std::size_t>(var)]});
+    lower_[static_cast<std::size_t>(var)] = lower;
+    upper_[static_cast<std::size_t>(var)] = upper;
+  }
+
+  void pushFrame(int node_id) {
+    path_.push_back(Frame{node_id, undo_.size()});
+    on_path_[static_cast<std::size_t>(node_id)] = 1;
+    const Node& n = nodes_[static_cast<std::size_t>(node_id)];
+    if (n.var >= 0) setCurrentBounds(n.var, n.lower, n.upper);
+    for (int k = 0; k < n.extra_count; ++k) {
+      const SimplexEngine::Fix& fix =
+          rc_fixes_[static_cast<std::size_t>(n.extra_begin + k)];
+      setCurrentBounds(fix.var, fix.value, fix.value);
     }
+  }
+
+  void popFrame() {
+    const Frame frame = path_.back();
+    path_.pop_back();
+    on_path_[static_cast<std::size_t>(frame.node)] = 0;
+    while (undo_.size() > frame.undo_begin) {
+      const Undo& u = undo_.back();
+      lower_[static_cast<std::size_t>(u.var)] = u.lower;
+      upper_[static_cast<std::size_t>(u.var)] = u.upper;
+      undo_.pop_back();
+    }
+  }
+
+  void moveTo(int node) {
+    chain_.clear();
+    int n = node;
+    while (!on_path_[static_cast<std::size_t>(n)]) {
+      chain_.push_back(n);
+      n = nodes_[static_cast<std::size_t>(n)].parent;
+    }
+    while (path_.back().node != n) popFrame();
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) pushFrame(*it);
+  }
+
+  /// Record the fixes in fix_buffer_ on `node_id` (the current path top) and
+  /// apply them to the live bounds so both children see them.
+  void applyRcFixes(int node_id) {
+    Node& n = nodes_[static_cast<std::size_t>(node_id)];
+    n.extra_begin = static_cast<int>(rc_fixes_.size());
+    n.extra_count = static_cast<int>(fix_buffer_.size());
+    for (const SimplexEngine::Fix& fix : fix_buffer_) {
+      rc_fixes_.push_back(fix);
+      setCurrentBounds(fix.var, fix.value, fix.value);
+    }
+    stats_.rc_fixed += static_cast<std::int64_t>(fix_buffer_.size());
   }
 
   /// Most-fractional branching: the integer variable whose LP value is
@@ -378,6 +497,7 @@ class BranchAndBound {
     node.bound = bound;
     node.depth = nodes_[static_cast<std::size_t>(parent)].depth + 1;
     nodes_.push_back(node);
+    on_path_.push_back(0);
     pushOpen(QueueEntry{bound, static_cast<int>(nodes_.size()) - 1});
   }
 
@@ -385,6 +505,7 @@ class BranchAndBound {
   const SolveParams& params_;
   Strategy strategy_;
   RaceState* race_;
+  SimplexEngine engine_;
   Clock::time_point start_;
 
   std::vector<VarId> integer_vars_;
@@ -393,9 +514,15 @@ class BranchAndBound {
                       std::greater<QueueEntry>>
       open_;               // BestBound strategy
   std::vector<QueueEntry> stack_;  // DepthFirst strategy
-  std::vector<double> base_lower_, base_upper_;
-  std::vector<double> lower_, upper_;
+  std::vector<double> stack_min_;  // prefix minima of stack_ bounds
+
+  std::vector<double> lower_, upper_;  // bounds of the current path
+  std::vector<Frame> path_;
+  std::vector<Undo> undo_;
+  std::vector<char> on_path_;
   std::vector<int> chain_;
+  std::vector<SimplexEngine::Fix> rc_fixes_;
+  std::vector<SimplexEngine::Fix> fix_buffer_;
 
   std::vector<double> incumbent_;
   double incumbent_obj_ = kInfinity;

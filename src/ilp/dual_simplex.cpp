@@ -1,0 +1,615 @@
+#include "ilp/dual_simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdw::ilp {
+
+SimplexEngine::SimplexEngine(const Model& model, const SolveParams& params)
+    : model_(model), params_(params), form_(StandardForm::build(model)) {
+  num_rows_ = form_.num_rows;
+  num_cols_ = form_.num_cols;
+  width_ = num_cols_ + 1;  // + rhs column
+}
+
+double* SimplexEngine::rowPtr(int row) {
+  return tableau_.data() +
+         static_cast<std::size_t>(row) * static_cast<std::size_t>(width_);
+}
+const double* SimplexEngine::rowPtr(int row) const {
+  return tableau_.data() +
+         static_cast<std::size_t>(row) * static_cast<std::size_t>(width_);
+}
+
+std::int64_t SimplexEngine::blandThreshold() const {
+  if (params_.bland_iteration_override > 0)
+    return params_.bland_iteration_override;
+  return 2000 + 40LL * (num_rows_ + num_cols_);
+}
+
+bool SimplexEngine::isEnteringCandidate(int col, bool phase1) const {
+  const StandardForm::Column& info =
+      form_.columns[static_cast<std::size_t>(col)];
+  if (!phase1 && info.artificial) return false;
+  if (col_upper_[static_cast<std::size_t>(col)] < kEps) return false;  // fixed
+  return true;
+}
+
+// ---- cold path: two-phase primal from scratch ----------------------------
+
+void SimplexEngine::loadCold(const std::vector<double>& lower,
+                             const std::vector<double>& upper) {
+  const int n_model = model_.numVars();
+
+  tableau_.assign(static_cast<std::size_t>(num_rows_ + 2) *
+                      static_cast<std::size_t>(width_),
+                  0.0);
+  basis_.assign(static_cast<std::size_t>(num_rows_), -1);
+  is_basic_.assign(static_cast<std::size_t>(num_cols_), 0);
+  complemented_.assign(static_cast<std::size_t>(num_cols_), 0);
+  shift_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+  col_upper_.assign(static_cast<std::size_t>(num_cols_), kInfinity);
+  cur_lower_ = lower;
+  cur_upper_ = upper;
+  has_artificials_ = false;
+
+  // Column bounds/offsets from the node's bound vectors.
+  for (int j = 0; j < n_model; ++j) {
+    const double lb = lower[static_cast<std::size_t>(j)];
+    const double ub = upper[static_cast<std::size_t>(j)];
+    const int c1 = form_.first_col[static_cast<std::size_t>(j)];
+    const int c2 = form_.second_col[static_cast<std::size_t>(j)];
+    if (std::isfinite(lb)) {
+      shift_[static_cast<std::size_t>(c1)] = lb;
+      col_upper_[static_cast<std::size_t>(c1)] =
+          std::isfinite(ub) ? ub - lb : kInfinity;
+      // A base-free variable bounded at this node: pin the negative half.
+      if (c2 >= 0) col_upper_[static_cast<std::size_t>(c2)] = 0.0;
+    } else {
+      assert(c2 >= 0 && !std::isfinite(ub) &&
+             "variables must have a finite lower bound or be fully free");
+    }
+  }
+
+  // Rows: rhs shifted by the offsets, sign-flipped non-negative, slack or
+  // artificial made basic. Reserved artificial columns a load does not use
+  // stay all-zero and pinned at upper bound 0.
+  for (int i = 0; i < num_rows_; ++i) {
+    double* row = rowPtr(i);
+    double rhs = form_.rhs[static_cast<std::size_t>(i)];
+    for (const auto& [col, coeff] : form_.rows[static_cast<std::size_t>(i)]) {
+      row[col] += coeff;
+      rhs -= coeff * shift_[static_cast<std::size_t>(col)];
+    }
+    Sense sense = form_.senses[static_cast<std::size_t>(i)];
+    if (rhs < 0.0) {
+      for (int c = 0; c < num_cols_; ++c) row[c] = -row[c];
+      rhs = -rhs;
+      if (sense == Sense::LessEqual) sense = Sense::GreaterEqual;
+      else if (sense == Sense::GreaterEqual) sense = Sense::LessEqual;
+    }
+    const int slack = form_.slack_col[static_cast<std::size_t>(i)];
+    const int artificial = form_.artificial_col[static_cast<std::size_t>(i)];
+    col_upper_[static_cast<std::size_t>(artificial)] = 0.0;
+    if (sense == Sense::LessEqual) {
+      row[slack] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = slack;
+    } else {
+      if (slack >= 0) row[slack] = -1.0;  // surplus
+      row[artificial] = 1.0;
+      col_upper_[static_cast<std::size_t>(artificial)] = kInfinity;
+      basis_[static_cast<std::size_t>(i)] = artificial;
+      has_artificials_ = true;
+    }
+    is_basic_[static_cast<std::size_t>(
+        basis_[static_cast<std::size_t>(i)])] = 1;
+    row[num_cols_] = rhs;
+  }
+
+  // Phase-2 cost row: the model objective over structural columns.
+  double* cost2 = rowPtr(num_rows_);
+  for (int c = 0; c < num_cols_; ++c)
+    cost2[c] = form_.objective[static_cast<std::size_t>(c)];
+  // Phase-1 cost row: +1 on the artificials in use, then eliminate the
+  // (artificial) basis entries so the row holds genuine reduced costs.
+  double* cost1 = rowPtr(num_rows_ + 1);
+  for (int c = 0; c < num_cols_; ++c)
+    if (form_.columns[static_cast<std::size_t>(c)].artificial &&
+        col_upper_[static_cast<std::size_t>(c)] > kEps)
+      cost1[c] = 1.0;
+  for (int i = 0; i < num_rows_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (form_.columns[static_cast<std::size_t>(b)].artificial) {
+      const double* row = rowPtr(i);
+      for (int c = 0; c <= num_cols_; ++c) cost1[c] -= row[c];
+    }
+  }
+}
+
+LpResult SimplexEngine::runCold(const std::vector<double>& lower,
+                                const std::vector<double>& upper) {
+  ready_ = false;
+  warm_since_cold_ = 0;
+
+  LpResult result;
+  for (int j = 0; j < model_.numVars(); ++j) {
+    if (lower[static_cast<std::size_t>(j)] >
+        upper[static_cast<std::size_t>(j)] + kEps) {
+      result.status = LpStatus::Infeasible;
+      result.iterations = call_iterations_;
+      return result;
+    }
+  }
+
+  loadCold(lower, upper);
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (has_artificials_) {
+    const LpStatus phase1 = iterate(/*phase1=*/true);
+    result.iterations = call_iterations_;
+    if (phase1 == LpStatus::IterLimit) {
+      result.status = LpStatus::IterLimit;
+      return result;
+    }
+    // Phase-1 objective is bounded below by zero, so Unbounded cannot
+    // happen; any other non-optimal outcome is a numerical failure.
+    if (phase1 != LpStatus::Optimal) {
+      result.status = LpStatus::IterLimit;
+      return result;
+    }
+    if (phase1Infeasibility() > 1e-6) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+    expelArtificials();
+  }
+
+  const LpStatus phase2 = iterate(/*phase1=*/false);
+  result.iterations = call_iterations_;
+  if (phase2 != LpStatus::Optimal) {
+    result.status = phase2;
+    return result;
+  }
+
+  result.status = LpStatus::Optimal;
+  result.values = extractValues();
+  result.objective = model_.objective().evaluate(result.values);
+  ready_ = true;
+  return result;
+}
+
+LpResult SimplexEngine::coldSolve(const std::vector<double>& lower,
+                                  const std::vector<double>& upper) {
+  call_iterations_ = 0;
+  call_dual_pivots_ = 0;
+  return runCold(lower, upper);
+}
+
+LpResult SimplexEngine::solve(const std::vector<double>& lower,
+                              const std::vector<double>& upper,
+                              bool allow_warm, bool* used_warm,
+                              std::int64_t* dual_pivots) {
+  call_iterations_ = 0;
+  call_dual_pivots_ = 0;
+  bool warm = false;
+  LpResult result;
+  if (allow_warm && ready_ && warm_since_cold_ < kColdRefreshInterval) {
+    if (std::optional<LpResult> r = warmSolve(lower, upper)) {
+      warm = true;
+      ++warm_since_cold_;
+      result = std::move(*r);
+    }
+  }
+  if (!warm) result = runCold(lower, upper);
+  if (used_warm) *used_warm = warm;
+  if (dual_pivots) *dual_pivots = call_dual_pivots_;
+  return result;
+}
+
+// ---- warm path: bound deltas + dual simplex ------------------------------
+
+std::optional<LpResult> SimplexEngine::warmSolve(
+    const std::vector<double>& lower, const std::vector<double>& upper) {
+  const int n_model = model_.numVars();
+
+  // Validation pass: nothing is mutated until the whole delta is known to
+  // be expressible, so bailing out leaves the engine state untouched.
+  for (int j = 0; j < n_model; ++j) {
+    const double lb = lower[static_cast<std::size_t>(j)];
+    const double ub = upper[static_cast<std::size_t>(j)];
+    if (lb > ub + kEps) {
+      // Trivially empty box: report without touching the tableau, so the
+      // engine can keep warm-starting from its current state.
+      LpResult result;
+      result.status = LpStatus::Infeasible;
+      result.iterations = call_iterations_;
+      return result;
+    }
+    if (lb == cur_lower_[static_cast<std::size_t>(j)] &&
+        ub == cur_upper_[static_cast<std::size_t>(j)])
+      continue;
+    // Split (base-free) variables and a complemented column losing its
+    // finite upper bound cannot absorb an in-place bound delta.
+    if (form_.second_col[static_cast<std::size_t>(j)] >= 0) return std::nullopt;
+    const int c = form_.first_col[static_cast<std::size_t>(j)];
+    if (complemented_[static_cast<std::size_t>(c)] && !std::isfinite(ub))
+      return std::nullopt;
+  }
+
+  // Apply the deltas. For column c with effective offset e (its lower
+  // bound, or its upper bound while complemented), every row r of the
+  // tableau — constraint and cost rows alike — satisfies
+  // d(rhs_r)/d(e) = -sigma * t_rc with sigma = -1 iff complemented, because
+  // pivots and complements are uniform row/column operations over the
+  // initially loaded system (DESIGN.md §11).
+  for (int j = 0; j < n_model; ++j) {
+    const double lb = lower[static_cast<std::size_t>(j)];
+    const double ub = upper[static_cast<std::size_t>(j)];
+    if (lb == cur_lower_[static_cast<std::size_t>(j)] &&
+        ub == cur_upper_[static_cast<std::size_t>(j)])
+      continue;
+    const int c = form_.first_col[static_cast<std::size_t>(j)];
+    const bool comp = complemented_[static_cast<std::size_t>(c)] != 0;
+    const double sigma = comp ? -1.0 : 1.0;
+    const double e_old =
+        comp ? cur_upper_[static_cast<std::size_t>(j)]
+             : cur_lower_[static_cast<std::size_t>(j)];
+    const double e_new = comp ? ub : lb;
+    const double delta = e_new - e_old;
+    if (delta != 0.0) {
+      for (int r = 0; r < num_rows_ + 2; ++r) {
+        double* row = rowPtr(r);
+        if (row[c] != 0.0) row[num_cols_] -= sigma * row[c] * delta;
+      }
+    }
+    shift_[static_cast<std::size_t>(c)] = lb;
+    col_upper_[static_cast<std::size_t>(c)] =
+        std::isfinite(ub) ? ub - lb : kInfinity;
+    cur_lower_[static_cast<std::size_t>(j)] = lb;
+    cur_upper_[static_cast<std::size_t>(j)] = ub;
+  }
+
+  // Dual feasibility repair. Bound changes never touch reduced costs, but
+  // loosening a bound can resurrect a column that was pinned (lb == ub) at
+  // the previous optimum with a negative reduced cost — it was allowed to
+  // stay at the "wrong" bound because it could not move. Flipping such a
+  // column to its other bound (complementing negates its reduced cost)
+  // restores dual feasibility; a genuinely drifted column with no finite
+  // bound to flip to forces a cold rebuild.
+  const double* cost2 = rowPtr(num_rows_);
+  for (int c = 0; c < num_cols_; ++c) {
+    if (is_basic_[static_cast<std::size_t>(c)]) continue;
+    if (!isEnteringCandidate(c, /*phase1=*/false)) continue;
+    if (cost2[c] < -1e-7) {
+      if (!std::isfinite(col_upper_[static_cast<std::size_t>(c)]))
+        return std::nullopt;
+      complementColumn(c);
+    }
+  }
+
+  const DualStatus status = dualIterate();
+  if (status == DualStatus::Stalled) return std::nullopt;
+
+  LpResult result;
+  result.iterations = call_iterations_;
+  if (status == DualStatus::Infeasible) {
+    // The basis stays dual-feasible, so the engine remains warm-startable.
+    result.status = LpStatus::Infeasible;
+    return result;
+  }
+
+  // Post-solve drift scan (cheap O(n)): dual pivots should have preserved
+  // reduced-cost non-negativity; rescue via cold solve if they did not.
+  for (int c = 0; c < num_cols_; ++c) {
+    if (is_basic_[static_cast<std::size_t>(c)]) continue;
+    if (!isEnteringCandidate(c, /*phase1=*/false)) continue;
+    if (cost2[c] < -1e-6) return std::nullopt;
+  }
+
+  result.status = LpStatus::Optimal;
+  result.values = extractValues();
+  result.objective = model_.objective().evaluate(result.values);
+  ready_ = true;
+  return result;
+}
+
+SimplexEngine::DualStatus SimplexEngine::dualIterate() {
+  // A healthy warm re-solve takes a handful of pivots; anything beyond this
+  // cap is cheaper to restart cold than to keep pivoting. The cap scales
+  // with the model because the dual path also re-optimizes across *large*
+  // bound deltas (best-first jumps to a distant subtree), which legitimately
+  // needs more pivots than the one-bound child-node case.
+  const std::int64_t cap = 1000 + 4LL * (num_rows_ + num_cols_);
+  const std::int64_t bland_threshold = blandThreshold();
+  const double tol = params_.feasibility_tol;
+  std::int64_t local = 0;
+
+  while (true) {
+    if (local >= cap) return DualStatus::Stalled;
+    const bool bland = local > bland_threshold;
+
+    // Leaving row: the basic variable most out of bounds (below zero, or
+    // above its upper bound — the latter is complemented first so it leaves
+    // at zero like every dual step). Bland mode takes the smallest row
+    // index instead, for termination under degeneracy.
+    int leave = -1;
+    bool at_upper = false;
+    double worst = tol;
+    for (int i = 0; i < num_rows_; ++i) {
+      const double value = rowPtr(i)[num_cols_];
+      const double ub = col_upper_[static_cast<std::size_t>(
+          basis_[static_cast<std::size_t>(i)])];
+      double viol = -value;
+      bool up = false;
+      if (std::isfinite(ub) && value - ub > viol) {
+        viol = value - ub;
+        up = true;
+      }
+      if (viol > worst) {
+        leave = i;
+        at_upper = up;
+        if (bland) break;
+        worst = viol;
+      }
+    }
+    if (leave < 0) return DualStatus::Optimal;
+    if (at_upper) complementBasic(leave);
+
+    // Dual ratio test: entering column minimizing cost_c / -t_c over
+    // columns with t_c < 0 (ties: larger |t_c|, or smaller index under
+    // Bland). No candidate means the row proves primal infeasibility.
+    const double* row = rowPtr(leave);
+    const double* costs = rowPtr(num_rows_);
+    int entering = -1;
+    double best_ratio = kInfinity;
+    double best_mag = 0.0;
+    for (int c = 0; c < num_cols_; ++c) {
+      if (!isEnteringCandidate(c, /*phase1=*/false)) continue;
+      const double alpha = row[c];
+      if (alpha >= -kEps) continue;
+      double ratio = costs[c] / (-alpha);
+      if (ratio < 0.0) ratio = 0.0;  // dual-feasibility noise
+      const bool strictly_better = ratio < best_ratio - kEps;
+      const bool tie =
+          !strictly_better && ratio <= best_ratio + kEps && entering >= 0 &&
+          (bland ? c < entering : std::abs(alpha) > best_mag);
+      if (strictly_better || (entering < 0) || tie) {
+        best_ratio = std::min(ratio, best_ratio);
+        entering = c;
+        best_mag = std::abs(alpha);
+      }
+    }
+    if (entering < 0) return DualStatus::Infeasible;
+
+    pivot(leave, entering);
+    ++call_iterations_;
+    ++call_dual_pivots_;
+    ++local;
+  }
+}
+
+// ---- primal simplex internals (shared with the cold path) ----------------
+
+LpStatus SimplexEngine::iterate(bool phase1) {
+  const int cost_row = phase1 ? num_rows_ + 1 : num_rows_;
+  const std::int64_t bland_threshold = blandThreshold();
+  // Per-run cap: a healthy simplex finishes in O(rows + cols) pivots;
+  // anything far beyond that is numerical trouble, and under
+  // branch-and-bound one pathological LP must not eat the whole budget.
+  const std::int64_t per_run_cap = std::min<std::int64_t>(
+      params_.simplex_iteration_limit,
+      120LL * (num_rows_ + num_cols_) + 5000);
+  std::int64_t local_iterations = 0;
+
+  while (true) {
+    if (call_iterations_ >= per_run_cap) return LpStatus::IterLimit;
+    const bool bland = local_iterations > bland_threshold;
+
+    // Pricing: pick the entering column.
+    const double* costs = rowPtr(cost_row);
+    int entering = -1;
+    double best = -params_.feasibility_tol;
+    for (int col = 0; col < num_cols_; ++col) {
+      if (costs[col] >= -params_.feasibility_tol) continue;
+      if (!isEnteringCandidate(col, phase1)) continue;
+      if (bland) {
+        entering = col;
+        break;
+      }
+      if (costs[col] < best) {
+        best = costs[col];
+        entering = col;
+      }
+    }
+    if (entering < 0) return LpStatus::Optimal;
+
+    ++call_iterations_;
+    ++local_iterations;
+
+    // Ratio test. Every nonbasic variable sits at zero (complement
+    // invariant), so the entering variable increases from zero by t.
+    double t_limit = col_upper_[static_cast<std::size_t>(entering)];
+    int leave_row = -1;
+    bool leave_at_upper = false;
+    double best_pivot_mag = 0.0;
+    for (int i = 0; i < num_rows_; ++i) {
+      const double* row = rowPtr(i);
+      const double alpha = row[entering];
+      const double value = row[num_cols_];
+      double ratio;
+      bool at_upper;
+      if (alpha > kEps) {
+        ratio = value / alpha;  // basic drops to its lower bound (0)
+        at_upper = false;
+      } else if (alpha < -kEps) {
+        const double ub = col_upper_[static_cast<std::size_t>(
+            basis_[static_cast<std::size_t>(i)])];
+        if (!std::isfinite(ub)) continue;
+        ratio = (ub - value) / (-alpha);  // basic rises to its upper bound
+        at_upper = true;
+      } else {
+        continue;
+      }
+      if (ratio < 0.0) ratio = 0.0;  // numerical noise on degenerate rows
+      const bool strictly_better = ratio < t_limit - kEps;
+      const bool tie =
+          !strictly_better && ratio <= t_limit + kEps && leave_row >= 0 &&
+          pivotPreferred(i, alpha, best_pivot_mag, bland, leave_row);
+      if (strictly_better || tie) {
+        t_limit = std::min(ratio, t_limit);
+        leave_row = i;
+        leave_at_upper = at_upper;
+        best_pivot_mag = std::abs(alpha);
+      }
+    }
+
+    if (!std::isfinite(t_limit)) return LpStatus::Unbounded;
+
+    if (leave_row < 0) {
+      // The entering variable's own upper bound binds first: bound flip.
+      complementColumn(entering);
+      continue;
+    }
+
+    if (leave_at_upper) {
+      // The leaving basic variable exits at its upper bound; complement it
+      // so it leaves at zero like every other nonbasic variable.
+      complementBasic(leave_row);
+    }
+    pivot(leave_row, entering);
+  }
+}
+
+bool SimplexEngine::pivotPreferred(int row, double alpha, double best_mag,
+                                   bool bland, int current_row) const {
+  if (bland) {
+    return basis_[static_cast<std::size_t>(row)] <
+           basis_[static_cast<std::size_t>(current_row)];
+  }
+  return std::abs(alpha) > best_mag;
+}
+
+void SimplexEngine::complementColumn(int col) {
+  const double ub = col_upper_[static_cast<std::size_t>(col)];
+  assert(std::isfinite(ub));
+  for (int i = 0; i < num_rows_ + 2; ++i) {
+    double* row = rowPtr(i);
+    row[num_cols_] -= row[col] * ub;
+    row[col] = -row[col];
+  }
+  complemented_[static_cast<std::size_t>(col)] ^= 1;
+}
+
+void SimplexEngine::complementBasic(int row) {
+  const int b = basis_[static_cast<std::size_t>(row)];
+  complementColumn(b);
+  double* r = rowPtr(row);
+  for (int c = 0; c <= num_cols_; ++c) r[c] = -r[c];
+}
+
+void SimplexEngine::pivot(int row, int col) {
+  double* pivot_row = rowPtr(row);
+  const double pivot_value = pivot_row[col];
+  assert(std::abs(pivot_value) > kEps);
+  const double inv = 1.0 / pivot_value;
+  for (int c = 0; c <= num_cols_; ++c) pivot_row[c] *= inv;
+  pivot_row[col] = 1.0;  // exact
+
+  for (int i = 0; i < num_rows_ + 2; ++i) {
+    if (i == row) continue;
+    double* r = rowPtr(i);
+    const double factor = r[col];
+    if (factor == 0.0) continue;
+    for (int c = 0; c <= num_cols_; ++c) r[c] -= factor * pivot_row[c];
+    r[col] = 0.0;  // exact
+  }
+  is_basic_[static_cast<std::size_t>(
+      basis_[static_cast<std::size_t>(row)])] = 0;
+  is_basic_[static_cast<std::size_t>(col)] = 1;
+  basis_[static_cast<std::size_t>(row)] = col;
+}
+
+double SimplexEngine::phase1Infeasibility() const {
+  double total = 0.0;
+  for (int i = 0; i < num_rows_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (form_.columns[static_cast<std::size_t>(b)].artificial)
+      total += std::max(0.0, rowPtr(i)[num_cols_]);
+  }
+  return total;
+}
+
+void SimplexEngine::expelArtificials() {
+  for (int i = 0; i < num_rows_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (!form_.columns[static_cast<std::size_t>(b)].artificial) continue;
+    const double* row = rowPtr(i);
+    int replacement = -1;
+    for (int col = 0; col < num_cols_; ++col) {
+      if (form_.columns[static_cast<std::size_t>(col)].artificial) continue;
+      if (std::abs(row[col]) > 1e-7) {
+        replacement = col;
+        break;
+      }
+    }
+    if (replacement >= 0) {
+      pivot(i, replacement);
+    }
+    // else: the row is redundant; the artificial stays basic at zero.
+  }
+  // Pin every nonbasic artificial so it can never re-enter.
+  for (int col = 0; col < num_cols_; ++col)
+    if (form_.columns[static_cast<std::size_t>(col)].artificial)
+      col_upper_[static_cast<std::size_t>(col)] = 0.0;
+}
+
+std::vector<double> SimplexEngine::extractValues() const {
+  std::vector<double> col_value(static_cast<std::size_t>(num_cols_), 0.0);
+  for (int i = 0; i < num_rows_; ++i)
+    col_value[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        rowPtr(i)[num_cols_];
+  std::vector<double> values(static_cast<std::size_t>(model_.numVars()), 0.0);
+  for (int col = 0; col < num_cols_; ++col) {
+    const StandardForm::Column& info =
+        form_.columns[static_cast<std::size_t>(col)];
+    if (info.model_var < 0) continue;
+    double v = col_value[static_cast<std::size_t>(col)];
+    if (complemented_[static_cast<std::size_t>(col)])
+      v = col_upper_[static_cast<std::size_t>(col)] - v;
+    values[static_cast<std::size_t>(info.model_var)] +=
+        info.sign * (v + shift_[static_cast<std::size_t>(col)]);
+  }
+  return values;
+}
+
+void SimplexEngine::collectReducedCostFixes(double gap, double integrality_tol,
+                                            std::vector<Fix>* out) const {
+  if (!ready_ || !std::isfinite(gap)) return;
+  const double* cost2 = rowPtr(num_rows_);
+  for (int c = 0; c < num_cols_; ++c) {
+    const StandardForm::Column& info =
+        form_.columns[static_cast<std::size_t>(c)];
+    if (info.model_var < 0 || info.sign < 0) continue;
+    const VarId var = info.model_var;
+    // Split variables map one model variable onto two columns; the single
+    // -column reduced-cost argument below does not apply to them.
+    if (form_.second_col[static_cast<std::size_t>(var)] >= 0) continue;
+    if (model_.var(var).type == VarType::Continuous) continue;
+    if (is_basic_[static_cast<std::size_t>(c)]) continue;
+    if (col_upper_[static_cast<std::size_t>(c)] < kEps) continue;  // fixed
+    // Nonbasic at a bound: moving the variable by one integer step costs at
+    // least its reduced cost, so cost > gap proves no improving solution
+    // moves it.
+    if (cost2[c] <= gap + 1e-6) continue;
+    double value = shift_[static_cast<std::size_t>(c)];
+    if (complemented_[static_cast<std::size_t>(c)])
+      value += col_upper_[static_cast<std::size_t>(c)];
+    // Only fix to (near-)integral bounds — an unattainable fractional bound
+    // would invalidate the one-integer-step cost argument.
+    if (std::abs(value - std::round(value)) > integrality_tol) continue;
+    out->push_back(Fix{var, std::round(value)});
+  }
+}
+
+}  // namespace pdw::ilp

@@ -1,0 +1,133 @@
+// Persistent simplex engine with warm dual re-solves.
+//
+// A SimplexEngine is created once per branch-and-bound lane. It caches the
+// bound-independent StandardForm (standard_form.h) and keeps its tableau,
+// basis and complement flags alive between node LPs, so a child node —
+// which differs from the engine's current state only in a few variable
+// bounds — re-optimizes with the *dual* simplex instead of a full two-phase
+// primal run:
+//
+//  * Reduced costs do not depend on variable bounds, so the optimal basis
+//    of the previously solved node stays dual-feasible after any bound
+//    change. Applying the bound deltas to the right-hand side (a rank-one
+//    update per changed variable) and running dual pivots until primal
+//    feasibility returns is therefore exact — no Phase 1, no basis repair.
+//  * The engine warm-starts from its *current* state, whatever node that
+//    was, rather than from snapshots of each node's parent basis: the
+//    warm-start invariant holds between any two bound vectors, and the
+//    branch-and-bound queue pops children right after their parent in the
+//    common case, so the morph distance is small (DESIGN.md §11).
+//  * Every guard falls back to a full cold solve deterministically: the
+//    fallback decision depends only on the lane's own solve sequence, never
+//    on wall-clock or other threads, so a lane's node ordering is
+//    reproducible run-to-run and thread-count-independent.
+//
+// The engine also exposes reduced-cost fixing: at a node optimum, a
+// nonbasic integer column whose reduced cost exceeds the incumbent gap
+// cannot take any other integer value in an improving solution, so the
+// variable can be fixed at its current bound for the whole subtree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ilp/model.h"
+#include "ilp/simplex.h"
+#include "ilp/standard_form.h"
+#include "ilp/types.h"
+
+namespace pdw::ilp {
+
+class SimplexEngine {
+ public:
+  /// `model` and `params` must outlive the engine.
+  SimplexEngine(const Model& model, const SolveParams& params);
+
+  /// A reduced-cost bound fixing: `var` provably sits at `value` in every
+  /// improving solution of the current subtree.
+  struct Fix {
+    VarId var = -1;
+    double value = 0.0;
+  };
+
+  /// Solve the LP with the given bounds. When `allow_warm` and the engine
+  /// holds a usable dual-feasible state, re-optimizes with the dual simplex
+  /// (setting *used_warm); otherwise runs the cold two-phase primal. Either
+  /// path returns the same status/objective (the warm path is exact, not
+  /// approximate). `dual_pivots` receives the dual pivots of this call.
+  LpResult solve(const std::vector<double>& lower,
+                 const std::vector<double>& upper, bool allow_warm,
+                 bool* used_warm = nullptr,
+                 std::int64_t* dual_pivots = nullptr);
+
+  /// Full two-phase primal solve from scratch (also resets the warm state).
+  LpResult coldSolve(const std::vector<double>& lower,
+                     const std::vector<double>& upper);
+
+  /// True when the engine holds a dual-feasible basis a warm solve can
+  /// start from.
+  bool warmReady() const { return ready_; }
+
+  /// Reduced-cost fixings at the current optimum: every nonbasic integer
+  /// variable whose reduced cost exceeds `gap` (incumbent objective minus
+  /// this LP's objective) by a safety margin. Only valid immediately after
+  /// a solve that returned Optimal.
+  void collectReducedCostFixes(double gap, double integrality_tol,
+                               std::vector<Fix>* out) const;
+
+ private:
+  static constexpr double kEps = 1e-9;
+  /// Forced cold refresh cadence: every Nth would-be-warm solve runs cold
+  /// instead, bounding numerical drift accumulated by long pivot chains.
+  static constexpr std::int64_t kColdRefreshInterval = 256;
+
+  double* rowPtr(int row);
+  const double* rowPtr(int row) const;
+  std::int64_t blandThreshold() const;
+  bool isEnteringCandidate(int col, bool phase1) const;
+
+  void loadCold(const std::vector<double>& lower,
+                const std::vector<double>& upper);
+  LpResult runCold(const std::vector<double>& lower,
+                   const std::vector<double>& upper);
+  std::optional<LpResult> warmSolve(const std::vector<double>& lower,
+                                    const std::vector<double>& upper);
+
+  LpStatus iterate(bool phase1);
+  bool pivotPreferred(int row, double alpha, double best_mag, bool bland,
+                      int current_row) const;
+  void complementColumn(int col);
+  void complementBasic(int row);
+  void pivot(int row, int col);
+  double phase1Infeasibility() const;
+  void expelArtificials();
+  std::vector<double> extractValues() const;
+
+  enum class DualStatus { Optimal, Infeasible, Stalled };
+  DualStatus dualIterate();
+
+  const Model& model_;
+  const SolveParams& params_;
+  StandardForm form_;
+
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  int width_ = 0;
+  std::vector<double> tableau_;  // (num_rows_ + 2) x width_
+  std::vector<int> basis_;
+  std::vector<char> is_basic_;
+  std::vector<char> complemented_;
+  std::vector<double> shift_;      ///< per-column model-space offset
+  std::vector<double> col_upper_;  ///< per-column upper bound (shifted)
+  /// Model-space bounds of the last load; warm solves diff against these.
+  std::vector<double> cur_lower_, cur_upper_;
+
+  bool has_artificials_ = false;
+  bool ready_ = false;
+  std::int64_t call_iterations_ = 0;
+  std::int64_t call_dual_pivots_ = 0;
+  std::int64_t warm_since_cold_ = 0;
+};
+
+}  // namespace pdw::ilp

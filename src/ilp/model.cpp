@@ -69,6 +69,19 @@ void Model::setBounds(VarId var, double lower, double upper) {
   v.upper = upper;
 }
 
+int Model::removeConstraints(const std::vector<char>& remove) {
+  assert(remove.size() == constraints_.size());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (remove[i]) continue;
+    if (kept != i) constraints_[kept] = std::move(constraints_[i]);
+    ++kept;
+  }
+  const int removed = static_cast<int>(constraints_.size() - kept);
+  constraints_.resize(kept);
+  return removed;
+}
+
 int Model::numIntegerVars() const {
   int count = 0;
   for (const Variable& v : vars_)

@@ -65,6 +65,12 @@ class Model {
   /// Tighten a variable's bounds (used for branching and warm fixes).
   void setBounds(VarId var, double lower, double upper);
 
+  /// Remove the constraints whose index has `remove[id] != 0`. Survivors
+  /// keep their relative order and are renumbered compactly, so previously
+  /// held ConstraintIds are invalidated. Used by presolve to drop rows
+  /// proven redundant; variable ids are unaffected.
+  int removeConstraints(const std::vector<char>& remove);
+
   int numVars() const { return static_cast<int>(vars_.size()); }
   int numConstraints() const { return static_cast<int>(constraints_.size()); }
   int numIntegerVars() const;

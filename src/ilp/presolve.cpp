@@ -120,8 +120,27 @@ PresolveResult presolve(Model& model, double feasibility_tol, int max_rounds) {
     if (!changed) break;
   }
 
+  // Redundant-row elimination under the final bounds: an inequality whose
+  // worst-case activity already satisfies it can never bind, at the root or
+  // in any branch-and-bound subtree (branching only tightens bounds, which
+  // only shrinks the activity interval). Equalities are never dropped — they
+  // pin the solution even when currently satisfied as an interval.
+  std::vector<char> drop(static_cast<std::size_t>(model.numConstraints()), 0);
+  for (int ci = 0; ci < model.numConstraints(); ++ci) {
+    const Constraint& c = model.constraint(ci);
+    if (c.sense == Sense::Equal) continue;
+    const Activity activity = rowActivity(model, c);
+    const bool redundant =
+        c.sense == Sense::LessEqual
+            ? (activity.max_finite && activity.max <= c.rhs + feasibility_tol)
+            : (activity.min_finite && activity.min >= c.rhs - feasibility_tol);
+    if (redundant) drop[static_cast<std::size_t>(ci)] = 1;
+  }
+  result.rows_removed = model.removeConstraints(drop);
+
   PDW_LOG(Debug, "ilp") << "presolve tightened " << result.bounds_tightened
-                        << " bounds in " << result.rounds << " rounds";
+                        << " bounds and removed " << result.rows_removed
+                        << " redundant rows in " << result.rounds << " rounds";
   return result;
 }
 

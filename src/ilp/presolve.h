@@ -1,10 +1,11 @@
 // Bound-propagation presolve.
 //
 // Tightens variable bounds by propagating constraint activities to a
-// fixpoint. Bound propagation never removes feasible points, so the reduced
-// model has exactly the same solution set; it shrinks the branch-and-bound
-// tree and tames big-M constraints (the scheduling formulation of the paper
-// is big-M-heavy, eqs. 2/3/8/19/20).
+// fixpoint, then drops rows the final bounds prove redundant. Neither step
+// removes feasible points, so the reduced model has exactly the same
+// solution set; it shrinks the branch-and-bound tree, tames big-M
+// constraints (the scheduling formulation of the paper is big-M-heavy,
+// eqs. 2/3/8/19/20), and shrinks the standard form every node LP pivots on.
 #pragma once
 
 #include "ilp/model.h"
@@ -14,11 +15,12 @@ namespace pdw::ilp {
 struct PresolveResult {
   bool infeasible = false;
   int bounds_tightened = 0;
+  int rows_removed = 0;
   int rounds = 0;
 };
 
-/// Tighten bounds in place. Returns infeasible=true when a constraint is
-/// proven unsatisfiable by interval arithmetic.
+/// Tighten bounds and drop redundant rows in place. Returns infeasible=true
+/// when a constraint is proven unsatisfiable by interval arithmetic.
 PresolveResult presolve(Model& model, double feasibility_tol = 1e-7,
                         int max_rounds = 10);
 

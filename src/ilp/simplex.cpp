@@ -1,476 +1,32 @@
 #include "ilp/simplex.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-
+#include "ilp/dual_simplex.h"
 #include "obs/metrics.h"
-#include "util/logging.h"
 
 namespace pdw::ilp {
 
-namespace {
-
-constexpr double kEps = 1e-9;
-
-/// One column of the standard-form problem and how it maps back to a model
-/// variable: model_value += sign * (col_value + shift).
-struct ColumnInfo {
-  int model_var = -1;  ///< -1 for slack/surplus/artificial columns
-  double sign = 1.0;
-  double shift = 0.0;
-  bool artificial = false;
-};
-
-class Simplex {
- public:
-  Simplex(const Model& model, const SolveParams& params,
-          const std::vector<double>* lower_override,
-          const std::vector<double>* upper_override)
-      : model_(model), params_(params) {
-    buildStandardForm(lower_override, upper_override);
-  }
-
-  LpResult run() {
-    LpResult result;
-    if (trivially_infeasible_) {
-      result.status = LpStatus::Infeasible;
-      return result;
-    }
-
-    initCostRows();
-
-    // Phase 1: minimize the sum of artificial variables.
-    if (has_artificials_) {
-      const LpStatus phase1 = iterate(/*phase1=*/true);
-      result.iterations = iterations_;
-      if (phase1 == LpStatus::IterLimit) {
-        result.status = LpStatus::IterLimit;
-        return result;
-      }
-      // Phase-1 objective is bounded below by zero, so Unbounded cannot
-      // happen; any other non-optimal outcome is a numerical failure.
-      if (phase1 != LpStatus::Optimal) {
-        result.status = LpStatus::IterLimit;
-        return result;
-      }
-      if (phase1Infeasibility() > 1e-6) {
-        result.status = LpStatus::Infeasible;
-        return result;
-      }
-      expelArtificials();
-    }
-
-    const LpStatus phase2 = iterate(/*phase1=*/false);
-    result.iterations = iterations_;
-    if (phase2 != LpStatus::Optimal) {
-      result.status = phase2;
-      return result;
-    }
-
-    result.status = LpStatus::Optimal;
-    result.values = extractValues();
-    result.objective = model_.objective().evaluate(result.values);
-    return result;
-  }
-
- private:
-  // ---- standard-form construction -------------------------------------
-
-  void buildStandardForm(const std::vector<double>* lower_override,
-                         const std::vector<double>* upper_override) {
-    const int n_model = model_.numVars();
-    const auto lowerOf = [&](int j) {
-      return lower_override ? (*lower_override)[static_cast<std::size_t>(j)]
-                            : model_.var(j).lower;
-    };
-    const auto upperOf = [&](int j) {
-      return upper_override ? (*upper_override)[static_cast<std::size_t>(j)]
-                            : model_.var(j).upper;
-    };
-
-    // Map model variables to standard-form columns (all with lower bound 0).
-    // `first_col_[j]` is the column of model var j; fully-free variables get
-    // a second (negated) column recorded in `second_col_[j]`.
-    first_col_.assign(static_cast<std::size_t>(n_model), -1);
-    second_col_.assign(static_cast<std::size_t>(n_model), -1);
-    for (int j = 0; j < n_model; ++j) {
-      const double lb = lowerOf(j);
-      const double ub = upperOf(j);
-      if (lb > ub + kEps) {
-        trivially_infeasible_ = true;
-        return;
-      }
-      if (std::isfinite(lb)) {
-        first_col_[static_cast<std::size_t>(j)] = addColumn(
-            ColumnInfo{j, 1.0, lb, false}, std::isfinite(ub) ? ub - lb
-                                                             : kInfinity);
-      } else {
-        // Fully free variable: x = x+ - x-.
-        assert(!std::isfinite(ub) &&
-               "variables must have a finite lower bound or be fully free");
-        first_col_[static_cast<std::size_t>(j)] =
-            addColumn(ColumnInfo{j, 1.0, 0.0, false}, kInfinity);
-        second_col_[static_cast<std::size_t>(j)] =
-            addColumn(ColumnInfo{j, -1.0, 0.0, false}, kInfinity);
-      }
-    }
-
-    // Build rows: coefficients over structural columns, rhs shifted by the
-    // lower bounds, all rhs made non-negative, slacks/artificials appended.
-    const int m = model_.numConstraints();
-    struct RowDraft {
-      std::vector<std::pair<int, double>> cols;  // (column, coeff)
-      double rhs = 0.0;
-      Sense sense = Sense::LessEqual;
-    };
-    std::vector<RowDraft> drafts;
-    drafts.reserve(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      const Constraint& c = model_.constraint(i);
-      RowDraft draft;
-      draft.sense = c.sense;
-      draft.rhs = c.rhs;
-      for (const auto& [var, coeff] : c.expr.terms()) {
-        const int col = first_col_[static_cast<std::size_t>(var)];
-        draft.cols.emplace_back(col, coeff);
-        draft.rhs -= coeff * columns_[static_cast<std::size_t>(col)].shift;
-        const int col2 = second_col_[static_cast<std::size_t>(var)];
-        if (col2 >= 0) draft.cols.emplace_back(col2, -coeff);
-      }
-      if (draft.rhs < 0.0) {
-        for (auto& [col, coeff] : draft.cols) coeff = -coeff;
-        draft.rhs = -draft.rhs;
-        if (draft.sense == Sense::LessEqual) draft.sense = Sense::GreaterEqual;
-        else if (draft.sense == Sense::GreaterEqual)
-          draft.sense = Sense::LessEqual;
-      }
-      drafts.push_back(std::move(draft));
-    }
-
-    // Append slack / surplus / artificial columns and fix the full width.
-    std::vector<int> slack_col(drafts.size(), -1);
-    std::vector<int> artificial_col(drafts.size(), -1);
-    for (std::size_t i = 0; i < drafts.size(); ++i) {
-      switch (drafts[i].sense) {
-        case Sense::LessEqual:
-          slack_col[i] = addColumn(ColumnInfo{-1, 1.0, 0.0, false}, kInfinity);
-          break;
-        case Sense::GreaterEqual:
-          // Surplus column; written into the row with coefficient -1 below.
-          slack_col[i] = addColumn(ColumnInfo{-1, 1.0, 0.0, false}, kInfinity);
-          artificial_col[i] =
-              addColumn(ColumnInfo{-1, 1.0, 0.0, true}, kInfinity);
-          break;
-        case Sense::Equal:
-          artificial_col[i] =
-              addColumn(ColumnInfo{-1, 1.0, 0.0, true}, kInfinity);
-          break;
-      }
-    }
-
-    num_rows_ = static_cast<int>(drafts.size());
-    num_cols_ = static_cast<int>(columns_.size());
-    width_ = num_cols_ + 1;  // + rhs column
-    tableau_.assign(static_cast<std::size_t>(num_rows_ + 2) *
-                        static_cast<std::size_t>(width_),
-                    0.0);
-    basis_.assign(static_cast<std::size_t>(num_rows_), -1);
-    complemented_.assign(static_cast<std::size_t>(num_cols_), false);
-
-    for (std::size_t i = 0; i < drafts.size(); ++i) {
-      double* row = rowPtr(static_cast<int>(i));
-      for (const auto& [col, coeff] : drafts[i].cols)
-        row[col] += coeff;
-      if (drafts[i].sense == Sense::LessEqual) {
-        row[slack_col[i]] = 1.0;
-        basis_[i] = slack_col[i];
-      } else {
-        if (slack_col[i] >= 0) row[slack_col[i]] = -1.0;
-        row[artificial_col[i]] = 1.0;
-        basis_[i] = artificial_col[i];
-        has_artificials_ = true;
-      }
-      row[num_cols_] = drafts[i].rhs;
-    }
-  }
-
-  int addColumn(ColumnInfo info, double upper) {
-    columns_.push_back(info);
-    upper_.push_back(upper);
-    return static_cast<int>(columns_.size()) - 1;
-  }
-
-  void initCostRows() {
-    // Phase-2 cost row: model objective mapped onto structural columns.
-    double* cost2 = rowPtr(num_rows_);
-    for (const auto& [var, coeff] : model_.objective().terms()) {
-      const int col = first_col_[static_cast<std::size_t>(var)];
-      cost2[col] += coeff;
-      const int col2 = second_col_[static_cast<std::size_t>(var)];
-      if (col2 >= 0) cost2[col2] -= coeff;
-    }
-    // Phase-1 cost row: +1 on artificials, then eliminate the entries of the
-    // (artificial) basis so the row holds genuine reduced costs.
-    double* cost1 = rowPtr(num_rows_ + 1);
-    for (int col = 0; col < num_cols_; ++col)
-      if (columns_[static_cast<std::size_t>(col)].artificial) cost1[col] = 1.0;
-    for (int i = 0; i < num_rows_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (columns_[static_cast<std::size_t>(b)].artificial) {
-        const double* row = rowPtr(i);
-        for (int c = 0; c <= num_cols_; ++c) cost1[c] -= row[c];
-      }
-    }
-  }
-
-  // ---- simplex iterations ----------------------------------------------
-
-  double* rowPtr(int row) {
-    return tableau_.data() +
-           static_cast<std::size_t>(row) * static_cast<std::size_t>(width_);
-  }
-  const double* rowPtr(int row) const {
-    return tableau_.data() +
-           static_cast<std::size_t>(row) * static_cast<std::size_t>(width_);
-  }
-
-  bool isEnteringCandidate(int col, bool phase1) const {
-    const ColumnInfo& info = columns_[static_cast<std::size_t>(col)];
-    if (!phase1 && info.artificial) return false;
-    if (upper_[static_cast<std::size_t>(col)] < kEps) return false;  // fixed
-    return true;
-  }
-
-  /// Runs pivots until the active cost row is optimal. Returns Optimal,
-  /// Unbounded or IterLimit.
-  LpStatus iterate(bool phase1) {
-    const int cost_row = phase1 ? num_rows_ + 1 : num_rows_;
-    const std::int64_t bland_threshold =
-        2000 + 40LL * (num_rows_ + num_cols_);
-    // Per-run cap: a healthy simplex finishes in O(rows + cols) pivots;
-    // anything far beyond that is numerical trouble, and under
-    // branch-and-bound one pathological LP must not eat the whole budget.
-    const std::int64_t per_run_cap = std::min<std::int64_t>(
-        params_.simplex_iteration_limit,
-        120LL * (num_rows_ + num_cols_) + 5000);
-    std::int64_t local_iterations = 0;
-
-    while (true) {
-      if (iterations_ >= per_run_cap) return LpStatus::IterLimit;
-      const bool bland = local_iterations > bland_threshold;
-
-      // Pricing: pick the entering column.
-      const double* costs = rowPtr(cost_row);
-      int entering = -1;
-      double best = -params_.feasibility_tol;
-      for (int col = 0; col < num_cols_; ++col) {
-        if (costs[col] >= -params_.feasibility_tol) continue;
-        if (!isEnteringCandidate(col, phase1)) continue;
-        if (bland) {
-          entering = col;
-          break;
-        }
-        if (costs[col] < best) {
-          best = costs[col];
-          entering = col;
-        }
-      }
-      if (entering < 0) return LpStatus::Optimal;
-
-      ++iterations_;
-      ++local_iterations;
-
-      // Ratio test. Every nonbasic variable sits at zero (complement
-      // invariant), so the entering variable increases from zero by t.
-      double t_limit = upper_[static_cast<std::size_t>(entering)];
-      int leave_row = -1;
-      bool leave_at_upper = false;
-      double best_pivot_mag = 0.0;
-      for (int i = 0; i < num_rows_; ++i) {
-        const double* row = rowPtr(i);
-        const double alpha = row[entering];
-        const double value = row[num_cols_];
-        double ratio;
-        bool at_upper;
-        if (alpha > kEps) {
-          ratio = value / alpha;  // basic drops to its lower bound (0)
-          at_upper = false;
-        } else if (alpha < -kEps) {
-          const double ub = upper_[static_cast<std::size_t>(
-              basis_[static_cast<std::size_t>(i)])];
-          if (!std::isfinite(ub)) continue;
-          ratio = (ub - value) / (-alpha);  // basic rises to its upper bound
-          at_upper = true;
-        } else {
-          continue;
-        }
-        if (ratio < 0.0) ratio = 0.0;  // numerical noise on degenerate rows
-        const bool strictly_better = ratio < t_limit - kEps;
-        const bool tie =
-            !strictly_better && ratio <= t_limit + kEps && leave_row >= 0 &&
-            pivotPreferred(i, alpha, best_pivot_mag, bland, leave_row);
-        if (strictly_better || tie) {
-          t_limit = std::min(ratio, t_limit);
-          leave_row = i;
-          leave_at_upper = at_upper;
-          best_pivot_mag = std::abs(alpha);
-        }
-      }
-
-      if (!std::isfinite(t_limit)) return LpStatus::Unbounded;
-
-      if (leave_row < 0) {
-        // The entering variable's own upper bound binds first: bound flip.
-        complementColumn(entering);
-        continue;
-      }
-
-      if (leave_at_upper) {
-        // The leaving basic variable exits at its upper bound; complement it
-        // so it leaves at zero like every other nonbasic variable.
-        complementBasic(leave_row);
-      }
-      pivot(leave_row, entering);
-    }
-  }
-
-  /// Tie-break for rows achieving (numerically) the same min ratio.
-  bool pivotPreferred(int row, double alpha, double best_mag, bool bland,
-                      int current_row) const {
-    if (bland) {
-      return basis_[static_cast<std::size_t>(row)] <
-             basis_[static_cast<std::size_t>(current_row)];
-    }
-    return std::abs(alpha) > best_mag;
-  }
-
-  /// Replace column `col` by its complement U - x. Valid only for finite
-  /// upper bounds. Keeps every nonbasic variable at zero.
-  void complementColumn(int col) {
-    const double ub = upper_[static_cast<std::size_t>(col)];
-    assert(std::isfinite(ub));
-    for (int i = 0; i < num_rows_ + 2; ++i) {
-      double* row = rowPtr(i);
-      row[num_cols_] -= row[col] * ub;
-      row[col] = -row[col];
-    }
-    complemented_[static_cast<std::size_t>(col)] =
-        !complemented_[static_cast<std::size_t>(col)];
-  }
-
-  /// Complement the basic variable of `row` (used when it leaves at its
-  /// upper bound), then re-normalize the row so the basis column is +1.
-  void complementBasic(int row) {
-    const int b = basis_[static_cast<std::size_t>(row)];
-    complementColumn(b);
-    double* r = rowPtr(row);
-    for (int c = 0; c <= num_cols_; ++c) r[c] = -r[c];
-  }
-
-  void pivot(int row, int col) {
-    double* pivot_row = rowPtr(row);
-    const double pivot_value = pivot_row[col];
-    assert(std::abs(pivot_value) > kEps);
-    const double inv = 1.0 / pivot_value;
-    for (int c = 0; c <= num_cols_; ++c) pivot_row[c] *= inv;
-    pivot_row[col] = 1.0;  // exact
-
-    for (int i = 0; i < num_rows_ + 2; ++i) {
-      if (i == row) continue;
-      double* r = rowPtr(i);
-      const double factor = r[col];
-      if (factor == 0.0) continue;
-      for (int c = 0; c <= num_cols_; ++c) r[c] -= factor * pivot_row[c];
-      r[col] = 0.0;  // exact
-    }
-    basis_[static_cast<std::size_t>(row)] = col;
-  }
-
-  double phase1Infeasibility() const {
-    double total = 0.0;
-    for (int i = 0; i < num_rows_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (columns_[static_cast<std::size_t>(b)].artificial)
-        total += std::max(0.0, rowPtr(i)[num_cols_]);
-    }
-    return total;
-  }
-
-  /// After phase 1: pivot basic artificials out on any usable column, or pin
-  /// them (and the redundant row) to zero.
-  void expelArtificials() {
-    for (int i = 0; i < num_rows_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (!columns_[static_cast<std::size_t>(b)].artificial) continue;
-      const double* row = rowPtr(i);
-      int replacement = -1;
-      for (int col = 0; col < num_cols_; ++col) {
-        if (columns_[static_cast<std::size_t>(col)].artificial) continue;
-        if (std::abs(row[col]) > 1e-7) {
-          replacement = col;
-          break;
-        }
-      }
-      if (replacement >= 0) {
-        pivot(i, replacement);
-      }
-      // else: the row is redundant; the artificial stays basic at zero.
-    }
-    // Pin every nonbasic artificial so it can never re-enter.
-    for (int col = 0; col < num_cols_; ++col)
-      if (columns_[static_cast<std::size_t>(col)].artificial)
-        upper_[static_cast<std::size_t>(col)] = 0.0;
-  }
-
-  std::vector<double> extractValues() const {
-    std::vector<double> col_value(static_cast<std::size_t>(num_cols_), 0.0);
-    for (int i = 0; i < num_rows_; ++i)
-      col_value[static_cast<std::size_t>(
-          basis_[static_cast<std::size_t>(i)])] = rowPtr(i)[num_cols_];
-    std::vector<double> values(static_cast<std::size_t>(model_.numVars()),
-                               0.0);
-    for (int col = 0; col < num_cols_; ++col) {
-      const ColumnInfo& info = columns_[static_cast<std::size_t>(col)];
-      if (info.model_var < 0) continue;
-      double v = col_value[static_cast<std::size_t>(col)];
-      if (complemented_[static_cast<std::size_t>(col)])
-        v = upper_[static_cast<std::size_t>(col)] - v;
-      values[static_cast<std::size_t>(info.model_var)] +=
-          info.sign * (v + info.shift);
-    }
-    return values;
-  }
-
-  const Model& model_;
-  const SolveParams& params_;
-
-  std::vector<ColumnInfo> columns_;
-  std::vector<double> upper_;
-  std::vector<int> first_col_;
-  std::vector<int> second_col_;
-
-  int num_rows_ = 0;
-  int num_cols_ = 0;
-  int width_ = 0;
-  std::vector<double> tableau_;  // (num_rows_ + 2) x width_
-  std::vector<int> basis_;
-  std::vector<bool> complemented_;
-
-  bool has_artificials_ = false;
-  bool trivially_infeasible_ = false;
-  std::int64_t iterations_ = 0;
-};
-
-}  // namespace
-
+// Standalone entry point: one cold two-phase primal solve. Branch-and-bound
+// does not go through here — it owns a persistent SimplexEngine per lane so
+// node LPs can warm-start (see dual_simplex.h); this wrapper serves pure-LP
+// models and tests, where there is no prior basis to reuse.
 LpResult solveLp(const Model& model, const SolveParams& params,
                  const std::vector<double>* lower_override,
                  const std::vector<double>* upper_override) {
-  Simplex simplex(model, params, lower_override, upper_override);
-  LpResult result = simplex.run();
-  // Batched per call, not per pivot: solveLp is the hot path under branch &
-  // bound, so the instrumentation is two relaxed adds per LP.
+  std::vector<double> lower, upper;
+  const std::size_t n = static_cast<std::size_t>(model.numVars());
+  lower.reserve(n);
+  upper.reserve(n);
+  for (int j = 0; j < model.numVars(); ++j) {
+    lower.push_back(lower_override
+                        ? (*lower_override)[static_cast<std::size_t>(j)]
+                        : model.var(j).lower);
+    upper.push_back(upper_override
+                        ? (*upper_override)[static_cast<std::size_t>(j)]
+                        : model.var(j).upper);
+  }
+  SimplexEngine engine(model, params);
+  LpResult result = engine.coldSolve(lower, upper);
+  // Batched per call, not per pivot: two relaxed adds per LP.
   static obs::Counter& calls =
       obs::Registry::instance().counter("ilp.simplex.calls");
   static obs::Counter& iterations =

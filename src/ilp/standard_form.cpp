@@ -1,0 +1,79 @@
+#include "ilp/standard_form.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pdw::ilp {
+
+StandardForm StandardForm::build(const Model& model) {
+  StandardForm form;
+  const int n_model = model.numVars();
+  form.first_col.assign(static_cast<std::size_t>(n_model), -1);
+  form.second_col.assign(static_cast<std::size_t>(n_model), -1);
+
+  const auto addColumn = [&form](Column info) {
+    form.columns.push_back(info);
+    return static_cast<int>(form.columns.size()) - 1;
+  };
+
+  // Structural columns. The split decision uses the *base* bounds: branching
+  // only tightens, so a base-bounded variable stays single-column at every
+  // node, and a base-free variable keeps both columns (the load pins the
+  // second one when a node bound makes the split unnecessary).
+  for (int j = 0; j < n_model; ++j) {
+    const Variable& v = model.var(j);
+    if (std::isfinite(v.lower)) {
+      form.first_col[static_cast<std::size_t>(j)] =
+          addColumn(Column{j, 1.0, false});
+    } else {
+      assert(!std::isfinite(v.upper) &&
+             "variables must have a finite lower bound or be fully free");
+      form.first_col[static_cast<std::size_t>(j)] =
+          addColumn(Column{j, 1.0, false});
+      form.second_col[static_cast<std::size_t>(j)] =
+          addColumn(Column{j, -1.0, false});
+    }
+  }
+
+  const int m = model.numConstraints();
+  form.rows.resize(static_cast<std::size_t>(m));
+  form.senses.resize(static_cast<std::size_t>(m));
+  form.rhs.resize(static_cast<std::size_t>(m));
+  form.slack_col.assign(static_cast<std::size_t>(m), -1);
+  form.artificial_col.assign(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = model.constraint(i);
+    auto& row = form.rows[static_cast<std::size_t>(i)];
+    for (const auto& [var, coeff] : c.expr.terms()) {
+      row.emplace_back(form.first_col[static_cast<std::size_t>(var)], coeff);
+      const int col2 = form.second_col[static_cast<std::size_t>(var)];
+      if (col2 >= 0) row.emplace_back(col2, -coeff);
+    }
+    form.senses[static_cast<std::size_t>(i)] = c.sense;
+    form.rhs[static_cast<std::size_t>(i)] = c.rhs;
+  }
+
+  // Reserved slack/surplus + artificial columns, in row order so the layout
+  // matches the historical per-solve construction closely.
+  for (int i = 0; i < m; ++i) {
+    if (form.senses[static_cast<std::size_t>(i)] != Sense::Equal)
+      form.slack_col[static_cast<std::size_t>(i)] =
+          addColumn(Column{-1, 1.0, false});
+    form.artificial_col[static_cast<std::size_t>(i)] =
+        addColumn(Column{-1, 1.0, true});
+  }
+
+  form.num_rows = m;
+  form.num_cols = static_cast<int>(form.columns.size());
+
+  form.objective.assign(static_cast<std::size_t>(form.num_cols), 0.0);
+  for (const auto& [var, coeff] : model.objective().terms()) {
+    form.objective[static_cast<std::size_t>(
+        form.first_col[static_cast<std::size_t>(var)])] += coeff;
+    const int col2 = form.second_col[static_cast<std::size_t>(var)];
+    if (col2 >= 0) form.objective[static_cast<std::size_t>(col2)] -= coeff;
+  }
+  return form;
+}
+
+}  // namespace pdw::ilp

@@ -1,0 +1,68 @@
+// Bound-independent standard form of an LP/MILP model.
+//
+// Branch-and-bound solves thousands of node LPs that differ from each other
+// only in variable bounds. Everything structural — which tableau columns
+// exist, how they map back to model variables, the raw constraint
+// coefficients, senses and right-hand sides, where each row's slack and
+// artificial columns live — is invariant across nodes, so it is computed
+// once per MIP solve and shared by every node LP (see DESIGN.md §11).
+//
+// Layout decisions that make the structure bound-invariant:
+//  * Every model variable gets one structural column (shifted to lower
+//    bound 0 at load time); a variable that is fully free *in the base
+//    model* gets a second, negated column (x = x+ - x-). Whether a variable
+//    is split is decided from the base bounds only — branching tightens
+//    bounds, and when a node gives a split variable a finite lower bound
+//    the load simply pins the negative column to zero.
+//  * Whether a row's right-hand side needs a sign flip depends on the
+//    bounds (the rhs is shifted by the lower bounds), and a flipped
+//    LessEqual row becomes GreaterEqual — which needs an artificial. So
+//    every row reserves an artificial column up front, and every non-Equal
+//    row reserves a slack/surplus column; a load that does not need a
+//    reserved artificial leaves its column all-zero with upper bound 0, and
+//    the tableau geometry never changes between loads.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ilp/model.h"
+#include "ilp/types.h"
+
+namespace pdw::ilp {
+
+struct StandardForm {
+  /// How a column maps back to a model variable:
+  /// model_value += sign * (shift + column_value), with `shift` supplied at
+  /// load time (it is the node's lower bound, not structure).
+  struct Column {
+    int model_var = -1;  ///< -1 for slack/surplus/artificial columns
+    double sign = 1.0;
+    bool artificial = false;
+  };
+
+  int num_rows = 0;
+  int num_cols = 0;
+
+  std::vector<Column> columns;
+  /// Per model variable: its structural column, and the negated second
+  /// column of a free split (-1 otherwise).
+  std::vector<int> first_col;
+  std::vector<int> second_col;
+  /// Per row: reserved slack/surplus column (-1 for Equal rows) and the
+  /// always-reserved artificial column.
+  std::vector<int> slack_col;
+  std::vector<int> artificial_col;
+
+  /// Raw (unshifted, unflipped) rows over structural columns.
+  std::vector<std::vector<std::pair<int, double>>> rows;
+  std::vector<Sense> senses;
+  std::vector<double> rhs;
+
+  /// Objective coefficients per column (zero on slack/artificial columns).
+  std::vector<double> objective;
+
+  static StandardForm build(const Model& model);
+};
+
+}  // namespace pdw::ilp

@@ -55,6 +55,17 @@ struct SolveStats {
   /// certified optimality before the canonical search proved it itself.
   std::int64_t portfolio_nodes = 0;
   bool race_certified = false;
+  /// Node LPs run by the in-tree simplex engine (root + children).
+  std::int64_t lp_solves = 0;
+  /// Non-root node LPs re-optimized by the warm dual-simplex path vs. those
+  /// that fell back to a cold two-phase primal solve.
+  std::int64_t warm_hits = 0;
+  std::int64_t warm_misses = 0;
+  /// Dual-simplex pivots performed across all warm re-solves (subset of
+  /// `simplex_iterations`, which also counts cold primal pivots).
+  std::int64_t dual_pivots = 0;
+  /// Integer variables fixed by reduced-cost bound tightening.
+  std::int64_t rc_fixed = 0;
 };
 
 /// Result of solving a Model. `values` is indexed by VarId of the *original*
@@ -88,6 +99,19 @@ struct SolveParams {
   /// anything worse than this point (the paper's "best-effort within the
   /// time limit" semantics).
   std::vector<double> warm_start;
+  /// Warm-start node LP relaxations with the dual simplex from the previous
+  /// node's optimal basis (the basis stays dual-feasible under bound
+  /// changes). Falls back to the cold two-phase primal deterministically, so
+  /// results are identical either way — this is a speed knob for ablation.
+  bool warm_lp = true;
+  /// Fix integer variables whose reduced cost proves they cannot move
+  /// without exceeding the incumbent (applied to both children at branch
+  /// time). Never cuts off an improving solution.
+  bool rc_fixing = true;
+  /// Iteration count after which pricing switches to Bland's rule inside one
+  /// LP solve (anti-cycling). 0 = automatic (scales with model size); tests
+  /// set 1 to exercise the Bland path directly.
+  std::int64_t bland_iteration_override = 0;
   /// >= 2 races the canonical best-bound search against a depth-first diver
   /// on a second thread. The diver publishes feasible objectives through an
   /// atomic incumbent bound; the canonical search stops early once its own

@@ -1,0 +1,171 @@
+// SimplexEngine warm-path tests: the dual-simplex re-solve must be exact —
+// same status and objective as a cold two-phase primal run — across randomly
+// perturbed bound vectors, and the MIP-level warm/rc-fixing knobs must be
+// pure speed knobs (identical solutions either way).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ilp/dual_simplex.h"
+#include "ilp/solver.h"
+#include "util/rng.h"
+
+namespace pdw::ilp {
+namespace {
+
+SolveParams quickParams() {
+  SolveParams p;
+  p.time_limit_seconds = 10.0;
+  return p;
+}
+
+/// Random bounded LP: n variables in [0, u_j], dense-ish random rows. The
+/// generosity of the rhs keeps most instances feasible, but infeasible draws
+/// are fine — warm and cold must agree on those too.
+Model makeRandomLp(util::Rng& rng, int n, int rows) {
+  Model m;
+  std::vector<VarId> xs;
+  LinExpr objective;
+  for (int j = 0; j < n; ++j) {
+    xs.push_back(m.addContinuous(0.0, static_cast<double>(rng.intIn(5, 15))));
+    objective += static_cast<double>(rng.intIn(-5, 5)) * LinExpr(xs.back());
+  }
+  for (int i = 0; i < rows; ++i) {
+    LinExpr e;
+    int terms = 0;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.chance(0.6)) continue;
+      e += static_cast<double>(rng.intIn(-3, 5)) * LinExpr(xs[static_cast<std::size_t>(j)]);
+      ++terms;
+    }
+    if (terms == 0) e += LinExpr(xs[rng.index(xs.size())]);
+    const double rhs = static_cast<double>(rng.intIn(-5, 8 * n));
+    switch (rng.intIn(0, 2)) {
+      case 0: m.addLessEqual(e, rhs); break;
+      case 1: m.addGreaterEqual(e, -rhs); break;
+      default: m.addLessEqual(e, rhs + 10.0); break;
+    }
+  }
+  m.setObjective(objective);
+  return m;
+}
+
+TEST(DualSimplexEngine, WarmMatchesColdAcrossPerturbedBounds) {
+  // ~100 perturbed-bound re-solves across several random instances: the
+  // warm dual path must report exactly the cold status, and the cold
+  // objective when Optimal. Perturbations tighten AND loosen (loosening
+  // exercises the resurrected-column repair in warmSolve).
+  util::Rng rng(20240807);
+  const SolveParams params = quickParams();
+  int warm_used_total = 0;
+  for (int inst = 0; inst < 5; ++inst) {
+    const Model m = makeRandomLp(rng, 8, 6);
+    SimplexEngine warm_engine(m, params);
+    SimplexEngine cold_engine(m, params);
+
+    std::vector<double> base_lower, base_upper;
+    for (int j = 0; j < m.numVars(); ++j) {
+      base_lower.push_back(m.var(j).lower);
+      base_upper.push_back(m.var(j).upper);
+    }
+    warm_engine.coldSolve(base_lower, base_upper);
+
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<double> lower = base_lower;
+      std::vector<double> upper = base_upper;
+      for (int j = 0; j < m.numVars(); ++j) {
+        if (!rng.chance(0.4)) continue;
+        const int hi = static_cast<int>(base_upper[static_cast<std::size_t>(j)]);
+        const int a = rng.intIn(0, hi);
+        const int b = rng.intIn(0, hi);
+        lower[static_cast<std::size_t>(j)] = std::min(a, b);
+        upper[static_cast<std::size_t>(j)] = std::max(a, b);
+      }
+      bool used_warm = false;
+      const LpResult warm = warm_engine.solve(lower, upper, /*allow_warm=*/true,
+                                              &used_warm);
+      const LpResult cold = cold_engine.coldSolve(lower, upper);
+      ASSERT_EQ(warm.status, cold.status)
+          << "instance " << inst << " iteration " << iter;
+      if (cold.status == LpStatus::Optimal) {
+        EXPECT_NEAR(warm.objective, cold.objective, 1e-6)
+            << "instance " << inst << " iteration " << iter;
+      }
+      warm_used_total += used_warm ? 1 : 0;
+    }
+  }
+  // The warm path must actually carry most of the load, not silently fall
+  // back cold on every perturbation.
+  EXPECT_GT(warm_used_total, 50);
+}
+
+/// Small MIP with enough branching to produce non-root node LPs.
+Model makeBranchyMip(util::Rng& rng, int n) {
+  Model m;
+  std::vector<VarId> xs;
+  LinExpr objective, capacity;
+  for (int j = 0; j < n; ++j) {
+    xs.push_back(m.addInteger(0, 3));
+    objective += -static_cast<double>(rng.intIn(1, 9)) * LinExpr(xs.back());
+    capacity += static_cast<double>(rng.intIn(1, 7)) * LinExpr(xs.back());
+  }
+  m.addLessEqual(capacity, 5.0 * n / 2.0);
+  for (int i = 0; i + 1 < n; i += 2)
+    m.addLessEqual(LinExpr(xs[static_cast<std::size_t>(i)]) +
+                       LinExpr(xs[static_cast<std::size_t>(i + 1)]),
+                   4);
+  m.setObjective(objective);
+  return m;
+}
+
+TEST(DualSimplexEngine, MipWarmLpOnOffSameObjective) {
+  util::Rng rng(11);
+  for (int inst = 0; inst < 10; ++inst) {
+    const Model m = makeBranchyMip(rng, 8);
+    SolveParams warm = quickParams();
+    warm.warm_lp = true;
+    SolveParams cold = quickParams();
+    cold.warm_lp = false;
+    const Solution a = solve(m, warm);
+    const Solution b = solve(m, cold);
+    ASSERT_EQ(a.status, b.status) << "instance " << inst;
+    ASSERT_TRUE(a.hasSolution());
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "instance " << inst;
+    EXPECT_EQ(b.stats.warm_hits, 0);
+  }
+}
+
+TEST(DualSimplexEngine, MipRcFixingOnOffSameObjective) {
+  util::Rng rng(12);
+  for (int inst = 0; inst < 10; ++inst) {
+    const Model m = makeBranchyMip(rng, 8);
+    SolveParams with_rc = quickParams();
+    with_rc.rc_fixing = true;
+    SolveParams without_rc = quickParams();
+    without_rc.rc_fixing = false;
+    const Solution a = solve(m, with_rc);
+    const Solution b = solve(m, without_rc);
+    ASSERT_EQ(a.status, b.status) << "instance " << inst;
+    ASSERT_TRUE(a.hasSolution());
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "instance " << inst;
+    EXPECT_EQ(b.stats.rc_fixed, 0);
+  }
+}
+
+TEST(DualSimplexEngine, MipStatsAccountWarmHits) {
+  util::Rng rng(13);
+  const Model m = makeBranchyMip(rng, 10);
+  const Solution s = solve(m, quickParams());
+  ASSERT_TRUE(s.hasSolution());
+  // Hits and misses partition the non-root node LPs, and the hit rate on a
+  // plain branchy MIP must be high — children differ from their parent by a
+  // single bound.
+  EXPECT_GT(s.stats.lp_solves, 1);
+  EXPECT_LE(s.stats.warm_hits + s.stats.warm_misses, s.stats.lp_solves);
+  EXPECT_GT(s.stats.warm_hits, 0);
+  EXPECT_GE(s.stats.warm_hits,
+            4 * (s.stats.warm_hits + s.stats.warm_misses) / 5);
+}
+
+}  // namespace
+}  // namespace pdw::ilp

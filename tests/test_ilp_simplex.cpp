@@ -214,6 +214,54 @@ TEST(Simplex, EmptyObjectiveReturnsFeasiblePoint) {
   EXPECT_GE(r.values[x], 5.0 - 1e-6);
 }
 
+TEST(Simplex, BlandRuleSolvesBealeCyclingExample) {
+  // Beale's classic cycling instance: Dantzig pricing with naive tie-breaks
+  // cycles forever on this problem. With the Bland threshold forced to the
+  // very first pivot, every iteration runs under Bland's rule, which is
+  // provably cycle-free; the solve must terminate at the optimum -1/20.
+  Model m;
+  VarId x1 = m.addContinuous(0, kInfinity, "x1");
+  VarId x2 = m.addContinuous(0, kInfinity, "x2");
+  VarId x3 = m.addContinuous(0, kInfinity, "x3");
+  VarId x4 = m.addContinuous(0, kInfinity, "x4");
+  m.addLessEqual(0.25 * LinExpr(x1) - 60.0 * LinExpr(x2) -
+                     (1.0 / 25.0) * LinExpr(x3) + 9.0 * LinExpr(x4),
+                 0);
+  m.addLessEqual(0.5 * LinExpr(x1) - 90.0 * LinExpr(x2) -
+                     (1.0 / 50.0) * LinExpr(x3) + 3.0 * LinExpr(x4),
+                 0);
+  m.addLessEqual(LinExpr(x3), 1);
+  m.setObjective(-0.75 * LinExpr(x1) + 150.0 * LinExpr(x2) -
+                 (1.0 / 50.0) * LinExpr(x3) + 6.0 * LinExpr(x4));
+
+  SolveParams params = quickParams();
+  params.bland_iteration_override = 1;
+  LpResult r = solveLp(m, params);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, BlandRuleMatchesDefaultOnDegenerateVertex) {
+  // The anti-cycling path must land on the same optimum as default pricing
+  // even when several bases describe the same degenerate vertex.
+  Model m;
+  VarId x = m.addContinuous(0, kInfinity, "x");
+  VarId y = m.addContinuous(0, kInfinity, "y");
+  m.addLessEqual(LinExpr(x) + LinExpr(y), 1);
+  m.addLessEqual(LinExpr(x), 1);
+  m.addLessEqual(LinExpr(y), 1);
+  m.addLessEqual(2.0 * LinExpr(x) + 2.0 * LinExpr(y), 2);
+  m.setObjective(-1.0 * LinExpr(x) - 1.0 * LinExpr(y));
+
+  LpResult base = solveLp(m, quickParams());
+  SolveParams bland = quickParams();
+  bland.bland_iteration_override = 1;
+  LpResult r = solveLp(m, bland);
+  ASSERT_EQ(base.status, LpStatus::Optimal);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, base.objective, 1e-6);
+}
+
 TEST(Simplex, LargerDiet) {
   // Stigler-style diet fragment:
   // min 0.2a + 0.3b + 0.8c

@@ -1,14 +1,19 @@
 // obs_check — validates pdw_cli's observability exports (scripts/tier1.sh).
 //
 //   obs_check --trace t.json --metrics m.json [--expect-workers N]
+//   obs_check --bench b.json [--expect-warm-hits]
 //
 // Trace checks: parses as Chrome trace_event JSON (object form), every
 // event carries ph/ts/pid/tid, begin/end counts balance with proper nesting
 // per thread, the four pipeline stage spans and at least one per-operation
 // wash_op span are present, and (with --expect-workers) N distinct
 // pdw-worker threads are registered. Metrics checks: schema tag plus the
-// core solver/pipeline keys with sane values. Exits non-zero with one line
-// per failure.
+// core solver/pipeline keys with sane values. Bench checks: a `pdw-bench-1`
+// document from `bench_ilp_solver --json-out` — schema tag, per-benchmark
+// records with non-negative solver readings, totals consistent with the
+// records, and (with --expect-warm-hits) a strictly positive warm-hit rate.
+// Exits non-zero with one line per failure.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -149,10 +154,68 @@ void checkMetrics(const std::string& path) {
   }
 }
 
+void checkBench(const std::string& path, bool expect_warm_hits) {
+  const std::string text = slurp(path);
+  if (text.empty()) return fail("bench file empty or unreadable: " + path);
+  const auto doc = pdw::obs::json::parse(text);
+  if (!doc || !doc->isObject()) return fail("bench is not a JSON object");
+  const Value* schema = doc->find("schema");
+  if (!schema || !schema->isString() || schema->string != "pdw-bench-1")
+    fail("bench schema tag is not 'pdw-bench-1'");
+  const Value* benchmarks = doc->find("benchmarks");
+  if (!benchmarks || !benchmarks->isArray() || benchmarks->array.empty())
+    return fail("bench has no non-empty 'benchmarks' array");
+
+  const std::vector<const char*> numeric_keys = {
+      "wall_seconds", "mip_solves",  "nodes",    "simplex_iterations",
+      "warm_hits",    "warm_misses", "dual_pivots", "rc_fixed"};
+  std::map<std::string, double> sums;
+  for (const Value& b : benchmarks->array) {
+    const Value* name = b.find("name");
+    const std::string n =
+        name && name->isString() ? name->string : "<unnamed>";
+    if (n == "<unnamed>") fail("benchmark record without a name");
+    for (const char* key : numeric_keys) {
+      const Value* v = b.find(key);
+      if (!v || !v->isNumber() || v->number < 0) {
+        fail("benchmark '" + n + "' has no non-negative '" + key + "'");
+        continue;
+      }
+      sums[key] += v->number;
+    }
+  }
+
+  const Value* totals = doc->find("totals");
+  if (!totals || !totals->isObject())
+    return fail("bench has no 'totals' object");
+  for (const char* key : numeric_keys) {
+    const Value* v = totals->find(key);
+    if (!v || !v->isNumber()) {
+      fail(std::string("totals has no numeric '") + key + "'");
+      continue;
+    }
+    // The solver counters are exact integers; wall_seconds is a float sum
+    // of values serialized at ~6 significant digits, so its tolerance must
+    // absorb the per-record rounding.
+    const double tol = std::strcmp(key, "wall_seconds") == 0
+                           ? 0.01 + 1e-3 * std::abs(v->number)
+                           : 0.5;
+    if (std::abs(v->number - sums[key]) > tol)
+      fail(std::string("totals['") + key + "'] does not equal the sum of " +
+           "the per-benchmark records");
+  }
+  if (expect_warm_hits) {
+    const Value* hits = totals->find("warm_hits");
+    if (!hits || !hits->isNumber() || hits->number <= 0)
+      fail("expected totals.warm_hits > 0 (warm dual path never taken)");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, bench_path;
+  bool expect_warm_hits = false;
   int expect_workers = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -168,19 +231,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--expect-workers") {
       const char* v = next();
       if (v) expect_workers = std::atoi(v);
+    } else if (arg == "--bench") {
+      const char* v = next();
+      if (v) bench_path = v;
+    } else if (arg == "--expect-warm-hits") {
+      expect_warm_hits = true;
     } else {
       std::fprintf(stderr,
                    "usage: obs_check [--trace FILE] [--metrics FILE] "
-                   "[--expect-workers N]\n");
+                   "[--expect-workers N] [--bench FILE] "
+                   "[--expect-warm-hits]\n");
       return 2;
     }
   }
-  if (trace_path.empty() && metrics_path.empty()) {
+  if (trace_path.empty() && metrics_path.empty() && bench_path.empty()) {
     std::fprintf(stderr, "obs_check: nothing to check\n");
     return 2;
   }
   if (!trace_path.empty()) checkTrace(trace_path, expect_workers);
   if (!metrics_path.empty()) checkMetrics(metrics_path);
+  if (!bench_path.empty()) checkBench(bench_path, expect_warm_hits);
   if (failures == 0) {
     std::fprintf(stderr, "obs_check: OK\n");
     return 0;
