@@ -30,8 +30,8 @@ int main() {
   // Tighter per-stage budgets than the headline benches: 7 variants x 8
   // benchmarks; the comparison is relative across variants.
   core::PdwOptions base_options;
-  base_options.schedule_solver.time_limit_seconds = 2.0;
-  base_options.path.solver.time_limit_seconds = 0.5;
+  base_options.solver.schedule.time_limit_seconds = 2.0;
+  base_options.solver.path.time_limit_seconds = 0.5;
 
   std::vector<Variant> variants;
   {

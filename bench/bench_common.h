@@ -7,7 +7,7 @@
 
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/metrics.h"
 #include "sim/validator.h"
 #include "synth/placer.h"
@@ -20,8 +20,8 @@ namespace pdw::bench {
 /// demonstrate the same best-effort semantics at laptop scale).
 inline core::PdwOptions defaultBenchOptions() {
   core::PdwOptions options;
-  options.schedule_solver.time_limit_seconds = 4.0;
-  options.path.solver.time_limit_seconds = 1.0;
+  options.solver.schedule.time_limit_seconds = 4.0;
+  options.solver.path.time_limit_seconds = 1.0;
   return options;
 }
 
@@ -52,7 +52,7 @@ inline BenchmarkRun runBenchmark(
       synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
   run.base_t_assay = base.schedule.completionTime();
 
-  run.pdw_plan = core::runPathDriverWash(base.schedule, options);
+  run.pdw_plan = Pipeline(options).run(base.schedule).plan;
   run.dawo_plan = baseline::runDawo(base.schedule);
   run.pdw = sim::computeMetrics(run.pdw_plan.schedule, base.schedule);
   run.dawo = sim::computeMetrics(run.dawo_plan.schedule, base.schedule);

@@ -26,6 +26,7 @@
 #include "assay/benchmarks.h"
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "ilp/lp_backend.h"
 #include "ilp/solver.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -35,8 +36,14 @@ namespace {
 
 using namespace pdw;
 
+/// LP backend under measurement ("" = library default). Set by --engine;
+/// stamped into the pdw-bench-1 document so baselines are comparable only
+/// within one engine.
+std::string g_engine;  // NOLINT(runtime/string)
+
 ilp::SolveParams benchParams() {
   ilp::SolveParams p;
+  p.engine = g_engine;
   p.time_limit_seconds = 5.0;  // best-effort cap per solve
   p.log_progress = false;
   return p;
@@ -196,6 +203,7 @@ BenchRecord runPipelineBenchmark(assay::BenchmarkId id) {
   synth::SynthResult base =
       synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
   core::PdwOptions options = bench::defaultBenchOptions();
+  options.withEngine(g_engine);
   options.num_threads = 1;  // sequential: canonical-lane solver numbers only
   Pipeline pipeline(options);
   const PdwResult result = pipeline.run(base.schedule);
@@ -239,6 +247,10 @@ int runJsonMode(const std::string& path, const std::string& label,
     suite.emplace_back("knapsack_20", makeKnapsack(20));
     if (!quick) {
       suite.emplace_back("lp_dense_100", makeLpDense(100));
+      // The lp_dense_1000 family is the revised backend's headline: the
+      // dense tableau cannot finish these within the per-solve budget.
+      suite.emplace_back("lp_dense_300", makeLpDense(300));
+      suite.emplace_back("lp_dense_1000", makeLpDense(1000));
       suite.emplace_back("knapsack_30", makeKnapsack(30));
       suite.emplace_back("disjunctive_5", makeDisjunctiveScheduling(5));
       suite.emplace_back("disjunctive_6", makeDisjunctiveScheduling(6));
@@ -273,8 +285,11 @@ int runJsonMode(const std::string& path, const std::string& label,
   }
 
   std::ostringstream out;
+  const std::string engine =
+      g_engine.empty() ? ilp::defaultLpBackendName() : g_engine;
   out << "{\n  \"schema\": \"pdw-bench-1\",\n  \"label\": "
-      << obs::json::quote(label) << ",\n  \"quick\": "
+      << obs::json::quote(label) << ",\n  \"engine\": "
+      << obs::json::quote(engine) << ",\n  \"quick\": "
       << (quick ? "true" : "false") << ",\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i)
     appendRecord(out, records[i], i == 0);
@@ -317,6 +332,10 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (arg.rfind("--label=", 0) == 0) {
       label = arg.substr(std::strlen("--label="));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      g_engine = arg.substr(std::strlen("--engine="));
+    } else if (arg == "--engine" && i + 1 < argc) {
+      g_engine = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
     } else {

@@ -51,6 +51,8 @@ void printUsage() {
       "  --method M         pdw | dawo | both (default both)\n"
       "  --alpha/--beta/--gamma X   objective weights (default .3/.3/.4)\n"
       "  --time-limit S     scheduling-ILP budget in seconds (default 8)\n"
+      "  --engine NAME      LP backend for both ILP stages: revised\n"
+      "                     (default) | dense (tableau oracle)\n"
       "  --threads N        execution lanes (default 0 = hardware\n"
       "                     concurrency; results are identical for any N)\n"
       "  --no-type1|2|3     disable a necessity exemption (ablation)\n"
@@ -128,7 +130,11 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       if (arg == "--alpha") options.pdw.alpha = x;
       else if (arg == "--beta") options.pdw.beta = x;
       else if (arg == "--gamma") options.pdw.gamma = x;
-      else options.pdw.withSolverBudget(x, 60000);
+      else options.pdw.withScheduleBudget(x, 60000);
+    } else if (arg == "--engine") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      options.pdw.withEngine(*value);
     } else if (arg == "--threads") {
       const auto value = value_of(i);
       if (!value) return std::nullopt;

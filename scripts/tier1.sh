@@ -2,12 +2,14 @@
 # Tier-1 verification: the full test suite in a normal build, an
 # observability export smoke check (pdw_cli trace/metrics JSON validated by
 # tools/obs_check), an ILP perf smoke (bench_ilp_solver --quick JSON
-# validated by obs_check --bench, warm-hit rate must be positive), then the
-# parallel-runtime + obs tests (determinism, route cache,
-# tracing/metrics/logging) under ThreadSanitizer.
+# validated by obs_check --bench against the committed BENCH_ilp.json
+# baseline, warm-hit rate must be positive), the ILP numerics tests under
+# ASan+UBSan, then the parallel-runtime + obs tests (determinism, route
+# cache, tracing/metrics/logging) under ThreadSanitizer.
 #
 #   scripts/tier1.sh            # all stages
 #   PDW_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSAN stage
+#   PDW_SKIP_ASAN=1 scripts/tier1.sh   # skip the ASan/UBSan stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,9 +31,23 @@ trap 'rm -rf "$obs_dir"' EXIT
 echo "== tier-1: ILP perf smoke (bench_ilp_solver --json-out --quick) =="
 ./build/bench/bench_ilp_solver --json-out="$obs_dir/bench.json" \
   --label tier1-smoke --quick
-# Schema-validate the pdw-bench-1 document and require the warm dual path
-# to have actually fired (a silent all-cold regression fails here).
-./build/tools/obs_check --bench "$obs_dir/bench.json" --expect-warm-hits
+# Schema-validate the pdw-bench-1 document, require the warm dual path to
+# have actually fired (a silent all-cold regression fails here), check the
+# engine label, and gate wall time + simplex iterations on the rows shared
+# with the committed perf baseline.
+./build/tools/obs_check --bench "$obs_dir/bench.json" --expect-warm-hits \
+  --expect-engine revised --baseline BENCH_ilp.json
+
+if [[ "${PDW_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== tier-1: ASan/UBSan stage skipped (PDW_SKIP_ASAN=1) =="
+else
+  echo "== tier-1: ASan/UBSan build + ILP numerics tests =="
+  cmake -B build-asan -S . -DPDW_ASAN=ON >/dev/null
+  cmake --build build-asan -j --target pdw_tests
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="print_stacktrace=1" \
+    ./build-asan/tests/pdw_tests \
+    --gtest_filter='BasisLu.*:BackendDifferential.*:BothEngines/*:DenseWarmPath.*:Simplex.*:Mip.*:WarmStart.*:Model.*:Presolve.*:LinExpr.*'
+fi
 
 if [[ "${PDW_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== tier-1: TSAN stage skipped (PDW_SKIP_TSAN=1) =="

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "assay/schedule.h"
 #include "core/schedule_ilp.h"
@@ -26,6 +28,74 @@
 #include "wash/wash_op.h"
 
 namespace pdw::core {
+
+/// All solver knobs of the pipeline in one place: per-stage ilp::SolveParams
+/// for the scheduling ILP and the per-operation wash-path ILPs, plus the LP
+/// backend choice (lp_backend.h). Within `PdwOptions`, this struct is the
+/// authoritative source — the Pipeline facade copies `path` over
+/// `PdwOptions::path.solver` before routing, so standalone
+/// `routeWashPathIlp(..., WashPathOptions)` use is unaffected.
+///
+/// Migration note: the former scattered knobs (`PdwOptions::schedule_solver`
+/// member, `withSolverBudget`, `withPathSolverBudget`, `withWarmNodeLps`)
+/// moved here; the old PdwOptions setters survive as deprecated delegates.
+struct SolverConfig {
+  /// Scheduling-ILP knobs (eqs. 1-8, 16-26). NOTE: unless
+  /// `withScheduleBudget` pins a budget, the Pipeline facade replaces stock
+  /// `ilp::SolveParams` limits (10 s / 200000 nodes) with the PDW defaults
+  /// (8 s / 60000 nodes) and logs that it did so.
+  ilp::SolveParams schedule;
+
+  /// Per-operation wash-path ILP knobs (eqs. 12-15). Defaults mirror the
+  /// standalone WashPathOptions (1.5 s / 8000 nodes).
+  ilp::SolveParams path;
+
+  /// LP backend for both ILP stages: "revised" (sparse revised simplex, the
+  /// default) or "dense" (the dense-tableau oracle); "" picks the library
+  /// default. Per-stage override: set `schedule.engine` / `path.engine`
+  /// directly — a non-empty per-stage engine wins over this field.
+  std::string engine;
+
+  /// True once withScheduleBudget() pinned an explicit budget (suppresses
+  /// the facade's default-budget substitution).
+  bool schedule_budget_pinned = false;
+
+  SolverConfig() {
+    path.time_limit_seconds = 1.5;
+    path.node_limit = 8000;
+  }
+
+  /// Select the LP backend for both stages (see `engine`).
+  SolverConfig& withEngine(std::string name) {
+    engine = std::move(name);
+    return *this;
+  }
+
+  /// Pin the scheduling-ILP budget (wall-clock seconds and, optionally, a
+  /// branch-and-bound node cap). Suppresses the facade's default budget.
+  SolverConfig& withScheduleBudget(double seconds, std::int64_t nodes = 0) {
+    schedule.time_limit_seconds = seconds;
+    if (nodes > 0) schedule.node_limit = nodes;
+    schedule_budget_pinned = true;
+    return *this;
+  }
+
+  /// Budget of each per-operation wash-path ILP.
+  SolverConfig& withPathBudget(double seconds, std::int64_t nodes = 0) {
+    path.time_limit_seconds = seconds;
+    if (nodes > 0) path.node_limit = nodes;
+    return *this;
+  }
+
+  /// Toggle warm dual re-solves of branch-and-bound node LPs in both ILP
+  /// stages (on by default; off forces every node through the cold primal —
+  /// an ablation/debugging knob, results are identical either way).
+  SolverConfig& withWarmNodeLps(bool enabled) {
+    schedule.warm_lp = enabled;
+    path.warm_lp = enabled;
+    return *this;
+  }
+};
 
 /// One consolidated option block for the whole pipeline. The builder-style
 /// `with*` setters below are the supported way to configure a run — they
@@ -54,11 +124,9 @@ struct PdwOptions {
 
   double order_horizon_s = 12.0;
 
-  /// Scheduling-ILP solver knobs. NOTE: unless `withSolverBudget` pins a
-  /// budget, the Pipeline facade replaces stock `ilp::SolveParams` limits
-  /// (10 s / 200000 nodes) with the PDW defaults (8 s / 60000 nodes) and
-  /// logs that it did so — the override used to hide in this constructor.
-  ilp::SolveParams schedule_solver;
+  /// All solver knobs (per-stage SolveParams, LP backend choice, pinned
+  /// budget flag). Authoritative within the pipeline; see SolverConfig.
+  SolverConfig solver;
 
   /// Execution lanes for the parallel runtime (per-operation wash-path
   /// routing, solver portfolio race, rescheduler precomputation).
@@ -70,10 +138,6 @@ struct PdwOptions {
   /// Memoize routing results across wash operations and across run() calls
   /// of one Pipeline (LRU, `route_cache_capacity` problems). 0 disables.
   std::size_t route_cache_capacity = 256;
-
-  /// True once withSolverBudget() pinned an explicit budget (suppresses the
-  /// facade's default-budget substitution).
-  bool schedule_budget_pinned = false;
 
   // ---- builder-style setters (each returns *this for chaining) ----------
 
@@ -91,28 +155,41 @@ struct PdwOptions {
     return *this;
   }
 
+  /// Select the LP backend ("revised" / "dense") for both ILP stages.
+  PdwOptions& withEngine(std::string name) {
+    solver.withEngine(std::move(name));
+    return *this;
+  }
+
   /// Pin the scheduling-ILP budget (wall-clock seconds and, optionally, a
   /// branch-and-bound node cap). Suppresses the facade's default budget.
-  PdwOptions& withSolverBudget(double seconds, std::int64_t nodes = 0) {
-    schedule_solver.time_limit_seconds = seconds;
-    if (nodes > 0) schedule_solver.node_limit = nodes;
-    schedule_budget_pinned = true;
+  PdwOptions& withScheduleBudget(double seconds, std::int64_t nodes = 0) {
+    solver.withScheduleBudget(seconds, nodes);
     return *this;
   }
 
   /// Budget of each per-operation wash-path ILP.
-  PdwOptions& withPathSolverBudget(double seconds, std::int64_t nodes = 0) {
-    path.solver.time_limit_seconds = seconds;
-    if (nodes > 0) path.solver.node_limit = nodes;
+  PdwOptions& withPathBudget(double seconds, std::int64_t nodes = 0) {
+    solver.withPathBudget(seconds, nodes);
     return *this;
   }
 
-  /// Toggle warm dual re-solves of branch-and-bound node LPs in both ILP
-  /// stages (on by default; off forces every node through the cold primal —
-  /// an ablation/debugging knob, results are identical either way).
-  PdwOptions& withWarmNodeLps(bool enabled) {
-    schedule_solver.warm_lp = enabled;
-    path.solver.warm_lp = enabled;
+  /// Deprecated alias of withScheduleBudget (knob moved to SolverConfig).
+  [[deprecated("use withScheduleBudget / PdwOptions::solver")]] PdwOptions&
+  withSolverBudget(double seconds, std::int64_t nodes = 0) {
+    return withScheduleBudget(seconds, nodes);
+  }
+
+  /// Deprecated alias of withPathBudget (knob moved to SolverConfig).
+  [[deprecated("use withPathBudget / PdwOptions::solver")]] PdwOptions&
+  withPathSolverBudget(double seconds, std::int64_t nodes = 0) {
+    return withPathBudget(seconds, nodes);
+  }
+
+  /// Deprecated: warm-LP toggle moved to SolverConfig::withWarmNodeLps.
+  [[deprecated("use PdwOptions::solver.withWarmNodeLps")]] PdwOptions&
+  withWarmNodeLps(bool enabled) {
+    solver.withWarmNodeLps(enabled);
     return *this;
   }
 
@@ -174,10 +251,11 @@ struct PdwOptions {
 /// Run PDW on a wash-oblivious base schedule. The returned schedule points
 /// to the same graph/chip as `base`.
 ///
-/// [[deprecated]]: thin compatibility wrapper over pdw::Pipeline
+/// Deprecated: thin compatibility wrapper over pdw::Pipeline
 /// (core/pipeline.h), which returns stage timings, solver statistics and
 /// route-cache metrics alongside the plan. New code should construct a
 /// Pipeline — and hold on to it, so the route cache persists across runs.
+[[deprecated("construct a pdw::Pipeline (core/pipeline.h) instead")]]
 wash::WashPlanResult runPathDriverWash(const assay::AssaySchedule& base,
                                        const PdwOptions& options = {});
 

@@ -102,26 +102,39 @@ Pipeline::Pipeline(core::PdwOptions options) : options_(std::move(options)) {
   // stock ilp::SolveParams limits silently inside PdwOptions's constructor;
   // the substitution now lives here, visibly. Fields the caller already
   // moved off their stock defaults are respected.
-  if (!options_.schedule_budget_pinned) {
+  if (!options_.solver.schedule_budget_pinned) {
     const ilp::SolveParams stock;
     bool substituted = false;
-    if (options_.schedule_solver.time_limit_seconds ==
+    if (options_.solver.schedule.time_limit_seconds ==
         stock.time_limit_seconds) {
-      options_.schedule_solver.time_limit_seconds = 8.0;
+      options_.solver.schedule.time_limit_seconds = 8.0;
       substituted = true;
     }
-    if (options_.schedule_solver.node_limit == stock.node_limit) {
-      options_.schedule_solver.node_limit = 60000;
+    if (options_.solver.schedule.node_limit == stock.node_limit) {
+      options_.solver.schedule.node_limit = 60000;
       substituted = true;
     }
     if (substituted) {
       PDW_LOG(Info, "pipeline")
           << "scheduling solver budget defaulted to "
-          << options_.schedule_solver.time_limit_seconds << " s / "
-          << options_.schedule_solver.node_limit
-          << " nodes (pin with PdwOptions::withSolverBudget)";
+          << options_.solver.schedule.time_limit_seconds << " s / "
+          << options_.solver.schedule.node_limit
+          << " nodes (pin with SolverConfig::withScheduleBudget)";
     }
   }
+
+  // Resolve the LP backend choice: the SolverConfig-wide engine fills any
+  // stage that did not set its own (a non-empty per-stage engine wins).
+  if (!options_.solver.engine.empty()) {
+    if (options_.solver.schedule.engine.empty())
+      options_.solver.schedule.engine = options_.solver.engine;
+    if (options_.solver.path.engine.empty())
+      options_.solver.path.engine = options_.solver.engine;
+  }
+  // SolverConfig is the authoritative source of the wash-path solver knobs;
+  // the copy keeps routeOperation's WashPathOptions (and the route-cache
+  // key, which hashes them) in sync with it.
+  options_.path.solver = options_.solver.path;
 
   pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
   if (options_.route_cache_capacity > 0)
@@ -239,7 +252,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     ilp_options.wash = options_.wash;
     ilp_options.order_horizon_s = options_.order_horizon_s;
     ilp_options.enable_integration = options_.enable_integration;
-    ilp_options.solver = options_.schedule_solver;
+    ilp_options.solver = options_.solver.schedule;
     ilp_options.pool = pool_.get();
     // Portfolio race: a second lane dives for incumbents and certifies
     // optimality early; the canonical search still owns the returned

@@ -82,7 +82,7 @@ struct PdwResult {
 class Pipeline {
  public:
   /// Resolves num_threads (0 -> hardware concurrency), builds the runtime
-  /// (thread pool + route cache) and — unless withSolverBudget pinned one —
+  /// (thread pool + route cache) and — unless withScheduleBudget pinned one —
   /// applies the PDW scheduling-solver budget over the stock ilp defaults,
   /// logging the substitution.
   explicit Pipeline(core::PdwOptions options = {});

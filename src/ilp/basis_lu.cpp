@@ -1,0 +1,411 @@
+#include "ilp/basis_lu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdw::ilp {
+
+namespace {
+
+// Density above which Markowitz bookkeeping loses to a plain dense LU.
+constexpr double kDenseModeDensity = 0.18;
+// Fill-in abort: sparse elimination that crosses this active-density mark
+// restarts in dense mode instead of thrashing the sparse row lists.
+constexpr double kFillAbortDensity = 0.30;
+
+}  // namespace
+
+void BasisLu::clearFactors() {
+  prow_.clear();
+  pcol_.clear();
+  diag_.clear();
+  l_start_.clear();
+  l_entries_.clear();
+  u_start_.clear();
+  u_entries_.clear();
+  dense_lu_.clear();
+  dense_perm_.clear();
+  eta_pos_.clear();
+  eta_pivot_.clear();
+  eta_start_.assign(1, 0);
+  eta_entries_.clear();
+  eta_nnz_ = 0;
+  factor_nnz_ = 0;
+  dense_mode_ = false;
+  valid_ = false;
+}
+
+bool BasisLu::factor(int m, const std::vector<SparseColumn>& cols) {
+  assert(static_cast<int>(cols.size()) == m);
+  clearFactors();
+  m_ = m;
+  if (m == 0) {
+    valid_ = true;
+    return true;
+  }
+  std::size_t nnz = 0;
+  for (const SparseColumn& col : cols) nnz += col.size();
+  const double density =
+      static_cast<double>(nnz) / (static_cast<double>(m) * m);
+  bool ok = false;
+  if (m >= 32 && density > kDenseModeDensity) {
+    ok = factorDense(cols);
+  } else {
+    ok = factorSparse(cols);
+    if (!ok && m >= 32 && !dense_lu_.empty()) {
+      // factorSparse aborted on fill-in (not singularity); retry dense.
+      ok = factorDense(cols);
+    }
+  }
+  valid_ = ok;
+  return ok;
+}
+
+bool BasisLu::factorSparse(const std::vector<SparseColumn>& cols) {
+  const int m = m_;
+  // Row-major working copy: rows[i] = (position, value) entries.
+  std::vector<std::vector<std::pair<int, double>>> rows(m);
+  std::vector<int> col_count(m, 0);
+  std::size_t nnz = 0;
+  for (int pos = 0; pos < m; ++pos) {
+    for (const auto& [row, val] : cols[pos]) {
+      assert(row >= 0 && row < m);
+      if (val == 0.0) continue;
+      rows[row].emplace_back(pos, val);
+      ++col_count[pos];
+      ++nnz;
+    }
+  }
+  // col_rows: candidate rows per position, appended lazily (may hold stale
+  // rows whose entry got cancelled; verified against row contents on use).
+  std::vector<std::vector<int>> col_rows(m);
+  for (int i = 0; i < m; ++i)
+    for (const auto& [pos, val] : rows[i]) col_rows[pos].push_back(i);
+
+  std::vector<char> row_active(m, 1), col_active(m, 1);
+  prow_.reserve(m);
+  pcol_.reserve(m);
+  diag_.reserve(m);
+  l_start_.reserve(m + 1);
+  u_start_.reserve(m + 1);
+
+  // Dense accumulator for row combination.
+  std::vector<double> acc(m, 0.0);
+  std::vector<int> acc_stamp(m, -1);
+  int stamp = 0;
+
+  const std::size_t fill_cap = static_cast<std::size_t>(
+      std::max(4096.0, kFillAbortDensity * static_cast<double>(m) * m));
+
+  for (int k = 0; k < m; ++k) {
+    // ---- Markowitz pivot search over all active entries -----------------
+    int piv_row = -1, piv_pos = -1;
+    double piv_val = 0.0;
+    long best_cost = -1;
+    double best_mag = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (!row_active[i]) continue;
+      const auto& row = rows[i];
+      if (row.empty()) continue;
+      double row_max = 0.0;
+      for (const auto& [pos, val] : row) row_max = std::max(row_max, std::abs(val));
+      if (row_max < kAbsPivotTol) continue;
+      const double mag_floor = std::max(kAbsPivotTol, kRelPivotTol * row_max);
+      const long rc = static_cast<long>(row.size()) - 1;
+      for (const auto& [pos, val] : row) {
+        const double mag = std::abs(val);
+        if (mag < mag_floor) continue;
+        const long cost = rc * (static_cast<long>(col_count[pos]) - 1);
+        const bool better =
+            best_cost < 0 || cost < best_cost ||
+            (cost == best_cost &&
+             (mag > best_mag ||
+              (mag == best_mag &&
+               (i < piv_row || (i == piv_row && pos < piv_pos)))));
+        if (better) {
+          best_cost = cost;
+          best_mag = mag;
+          piv_row = i;
+          piv_pos = pos;
+          piv_val = val;
+        }
+      }
+    }
+    if (piv_row < 0) return false;  // singular: no admissible pivot left
+
+    prow_.push_back(piv_row);
+    pcol_.push_back(piv_pos);
+    diag_.push_back(piv_val);
+    row_active[piv_row] = 0;
+    col_active[piv_pos] = 0;
+
+    // Freeze the pivot row as U row k (entries over still-active positions).
+    std::vector<std::pair<int, double>>& prow_entries = rows[piv_row];
+    u_start_.push_back(static_cast<int>(u_entries_.size()));
+    for (const auto& [pos, val] : prow_entries) {
+      --col_count[pos];
+      if (pos == piv_pos) continue;
+      u_entries_.emplace_back(pos, val);
+    }
+
+    // ---- eliminate the pivot position from the remaining active rows ----
+    l_start_.push_back(static_cast<int>(l_entries_.size()));
+    std::vector<int>& cand = col_rows[piv_pos];
+    for (int i : cand) {
+      if (!row_active[i]) continue;
+      std::vector<std::pair<int, double>>& row = rows[i];
+      double v = 0.0;
+      bool found = false;
+      for (const auto& [pos, val] : row) {
+        if (pos == piv_pos) {
+          v = val;
+          found = true;
+          break;
+        }
+      }
+      if (!found || v == 0.0) continue;  // stale candidate
+      const double mult = v / piv_val;
+      l_entries_.emplace_back(i, mult);
+
+      // row_i -= mult * pivot_row, dropping the pivot position.
+      ++stamp;
+      for (const auto& [pos, val] : row) {
+        if (pos == piv_pos) continue;
+        acc[pos] = val;
+        acc_stamp[pos] = stamp;
+      }
+      for (const auto& [pos, val] : prow_entries) {
+        if (pos == piv_pos) continue;
+        if (acc_stamp[pos] == stamp) {
+          acc[pos] -= mult * val;
+        } else {
+          acc[pos] = -mult * val;
+          acc_stamp[pos] = stamp;
+        }
+      }
+      for (const auto& [pos, val] : row) --col_count[pos];
+      nnz -= row.size();
+      std::vector<std::pair<int, double>> next;
+      next.reserve(row.size() + prow_entries.size());
+      // Keep original-order positions first, then pivot-row fill-in, so the
+      // rebuild is deterministic without a sort.
+      for (const auto& [pos, val] : row) {
+        if (pos == piv_pos || acc_stamp[pos] != stamp) continue;
+        if (std::abs(acc[pos]) > kDropTol) next.emplace_back(pos, acc[pos]);
+        acc_stamp[pos] = -1;
+      }
+      for (const auto& [pos, val] : prow_entries) {
+        if (pos == piv_pos || acc_stamp[pos] != stamp) continue;
+        if (std::abs(acc[pos]) > kDropTol) {
+          next.emplace_back(pos, acc[pos]);
+          col_rows[pos].push_back(i);  // fill-in
+        }
+        acc_stamp[pos] = -1;
+      }
+      row.swap(next);
+      for (const auto& [pos, val] : row) ++col_count[pos];
+      nnz += row.size();
+    }
+    cand.clear();
+
+    if (nnz > fill_cap && m >= 32) {
+      // Signal factor() to retry densely (dense_lu_ non-empty = fill abort,
+      // distinct from the singular `return false` above).
+      dense_lu_.assign(1, 0.0);
+      return false;
+    }
+  }
+  l_start_.push_back(static_cast<int>(l_entries_.size()));
+  u_start_.push_back(static_cast<int>(u_entries_.size()));
+  factor_nnz_ = static_cast<std::int64_t>(l_entries_.size()) +
+                static_cast<std::int64_t>(u_entries_.size()) + m;
+  work_.assign(m, 0.0);
+  work2_.assign(m, 0.0);
+  return true;
+}
+
+bool BasisLu::factorDense(const std::vector<SparseColumn>& cols) {
+  const int m = m_;
+  dense_mode_ = true;
+  dense_lu_.assign(static_cast<std::size_t>(m) * m, 0.0);
+  for (int pos = 0; pos < m; ++pos)
+    for (const auto& [row, val] : cols[pos])
+      dense_lu_[static_cast<std::size_t>(row) * m + pos] += val;
+
+  std::vector<int> order(m);
+  for (int i = 0; i < m; ++i) order[i] = i;  // order[k] = original row of row k
+  double* a = dense_lu_.data();
+  for (int k = 0; k < m; ++k) {
+    int best = k;
+    double best_mag = std::abs(a[static_cast<std::size_t>(order[k]) * m + k]);
+    for (int i = k + 1; i < m; ++i) {
+      const double mag = std::abs(a[static_cast<std::size_t>(order[i]) * m + k]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = i;
+      }
+    }
+    if (best_mag < kAbsPivotTol) return false;  // singular
+    std::swap(order[k], order[best]);
+    const double* pr = a + static_cast<std::size_t>(order[k]) * m;
+    const double piv = pr[k];
+    for (int i = k + 1; i < m; ++i) {
+      double* ri = a + static_cast<std::size_t>(order[i]) * m;
+      const double mult = ri[k] / piv;
+      if (mult == 0.0) continue;
+      ri[k] = mult;
+      for (int j = k + 1; j < m; ++j) ri[j] -= mult * pr[j];
+    }
+  }
+  dense_perm_ = std::move(order);
+  factor_nnz_ = static_cast<std::int64_t>(m) * m;
+  work_.assign(m, 0.0);
+  work2_.assign(m, 0.0);
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  assert(valid_ && static_cast<int>(x.size()) == m_);
+  const int m = m_;
+  if (m == 0) return;
+  if (dense_mode_) {
+    // y = L^{-1} P x (forward), then back-substitute U; positions == steps.
+    std::vector<double>& y = work_;
+    const double* a = dense_lu_.data();
+    for (int k = 0; k < m; ++k) {
+      double v = x[dense_perm_[k]];
+      const double* rk = a + static_cast<std::size_t>(dense_perm_[k]) * m;
+      for (int j = 0; j < k; ++j) v -= rk[j] * y[j];
+      y[k] = v;
+    }
+    for (int k = m - 1; k >= 0; --k) {
+      double v = y[k];
+      const double* rk = a + static_cast<std::size_t>(dense_perm_[k]) * m;
+      for (int j = k + 1; j < m; ++j) v -= rk[j] * x[j];
+      x[k] = v / rk[k];
+    }
+  } else {
+    // Forward eliminate in row space: after step k, x[prow_[k]] is final.
+    for (int k = 0; k < m; ++k) {
+      const double xk = x[prow_[k]];
+      if (xk != 0.0) {
+        for (int e = l_start_[k]; e < l_start_[k + 1]; ++e)
+          x[l_entries_[e].first] -= l_entries_[e].second * xk;
+      }
+    }
+    // Back substitution: solution indexed by position, via scratch.
+    std::vector<double>& sol = work_;
+    for (int k = m - 1; k >= 0; --k) {
+      double v = x[prow_[k]];
+      for (int e = u_start_[k]; e < u_start_[k + 1]; ++e)
+        v -= u_entries_[e].second * sol[u_entries_[e].first];
+      sol[pcol_[k]] = v / diag_[k];
+    }
+    x.swap(sol);
+  }
+  applyEtasFtran(x);
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  assert(valid_ && static_cast<int>(x.size()) == m_);
+  const int m = m_;
+  if (m == 0) return;
+  applyEtasBtran(x);
+  if (dense_mode_) {
+    std::vector<double>& y = work_;
+    const double* a = dense_lu_.data();
+    // Solve U^T z = x (forward over steps).
+    for (int k = 0; k < m; ++k) {
+      double v = x[k];
+      for (int j = 0; j < k; ++j)
+        v -= a[static_cast<std::size_t>(dense_perm_[j]) * m + k] * y[j];
+      y[k] = v / a[static_cast<std::size_t>(dense_perm_[k]) * m + k];
+    }
+    // Solve L^T w = z (backward); scatter to original rows.
+    for (int k = m - 1; k >= 0; --k) {
+      double v = y[k];
+      for (int j = k + 1; j < m; ++j)
+        v -= a[static_cast<std::size_t>(dense_perm_[j]) * m + k] * y[j];
+      y[k] = v;
+    }
+    for (int k = 0; k < m; ++k) x[dense_perm_[k]] = y[k];
+  } else {
+    // Solve U^T z = x: z_k = (x[pcol_k] - partial) / diag_k, where `partial`
+    // accumulates earlier steps' U entries hitting position pcol_k.
+    std::vector<double>& accum = work_;
+    std::fill(accum.begin(), accum.end(), 0.0);
+    std::vector<double>& z = work2_;
+    for (int k = 0; k < m; ++k) {
+      const double zk = (x[pcol_[k]] - accum[pcol_[k]]) / diag_[k];
+      z[k] = zk;
+      if (zk != 0.0) {
+        for (int e = u_start_[k]; e < u_start_[k + 1]; ++e)
+          accum[u_entries_[e].first] += u_entries_[e].second * zk;
+      }
+    }
+    // Solve L^T w = z (backward over steps). L entry (row i, mult) at step k
+    // couples step k with the step where row i is pivotal; iterating k
+    // descending and keeping w indexed by original row makes w[row of later
+    // step] final before it is consumed.
+    std::vector<double>& w = work_;
+    for (int k = 0; k < m; ++k) w[prow_[k]] = z[k];
+    for (int k = m - 1; k >= 0; --k) {
+      double v = w[prow_[k]];
+      for (int e = l_start_[k]; e < l_start_[k + 1]; ++e)
+        v -= l_entries_[e].second * w[l_entries_[e].first];
+      w[prow_[k]] = v;
+    }
+    x.swap(w);
+  }
+}
+
+bool BasisLu::update(int pos, const std::vector<double>& alpha) {
+  assert(valid_ && pos >= 0 && pos < m_ &&
+         static_cast<int>(alpha.size()) == m_);
+  const double piv = alpha[pos];
+  if (std::abs(piv) < kUpdatePivotTol) return false;
+  eta_pos_.push_back(pos);
+  eta_pivot_.push_back(piv);
+  std::int64_t nnz = 1;
+  for (int i = 0; i < m_; ++i) {
+    if (i == pos) continue;
+    const double v = alpha[i];
+    if (std::abs(v) > kDropTol) {
+      eta_entries_.emplace_back(i, v);
+      ++nnz;
+    }
+  }
+  eta_start_.push_back(static_cast<int>(eta_entries_.size()));
+  eta_nnz_ += nnz;
+  return true;
+}
+
+void BasisLu::applyEtasFtran(std::vector<double>& x) const {
+  // E = I except column r = alpha; solve E w = v in sequence:
+  //   w_r = v_r / alpha_r,  w_i = v_i - alpha_i * w_r.
+  const int n_eta = static_cast<int>(eta_pos_.size());
+  for (int e = 0; e < n_eta; ++e) {
+    const int r = eta_pos_[e];
+    const double wr = x[r] / eta_pivot_[e];
+    x[r] = wr;
+    if (wr != 0.0) {
+      for (int t = eta_start_[e]; t < eta_start_[e + 1]; ++t)
+        x[eta_entries_[t].first] -= eta_entries_[t].second * wr;
+    }
+  }
+}
+
+void BasisLu::applyEtasBtran(std::vector<double>& x) const {
+  // Solve E^T w = v, most recent eta first:
+  //   w_i = v_i (i != r),  w_r = (v_r - sum_{i != r} alpha_i v_i) / alpha_r.
+  for (int e = static_cast<int>(eta_pos_.size()) - 1; e >= 0; --e) {
+    const int r = eta_pos_[e];
+    double v = x[r];
+    for (int t = eta_start_[e]; t < eta_start_[e + 1]; ++t)
+      v -= eta_entries_[t].second * x[eta_entries_[t].first];
+    x[r] = v / eta_pivot_[e];
+  }
+}
+
+}  // namespace pdw::ilp

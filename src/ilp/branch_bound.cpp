@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <queue>
 #include <thread>
 
-#include "ilp/dual_simplex.h"
+#include "ilp/lp_backend.h"
 #include "ilp/simplex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,6 +36,8 @@ void recordMipSolve(const Solution& result, double wall_seconds) {
   static obs::Counter& warm_hits = reg.counter("ilp.simplex.warm_hits");
   static obs::Counter& warm_misses = reg.counter("ilp.simplex.warm_misses");
   static obs::Counter& dual_pivots = reg.counter("ilp.simplex.dual_pivots");
+  static obs::Counter& refactorizations =
+      reg.counter("ilp.simplex.refactorizations");
   static obs::Histogram& seconds = reg.histogram("ilp.solve_seconds");
   solves.increment();
   nodes.add(result.stats.nodes_explored);
@@ -48,6 +51,7 @@ void recordMipSolve(const Solution& result, double wall_seconds) {
   warm_hits.add(result.stats.warm_hits);
   warm_misses.add(result.stats.warm_misses);
   dual_pivots.add(result.stats.dual_pivots);
+  refactorizations.add(result.stats.refactorizations);
   seconds.observe(wall_seconds);
 }
 
@@ -120,7 +124,7 @@ class BranchAndBound {
         params_(params),
         strategy_(strategy),
         race_(race),
-        engine_(model, params),
+        engine_(makeLpBackend(params.engine, model, params)),
         start_(Clock::now()) {
     for (VarId v = 0; v < model.numVars(); ++v)
       if (model.var(v).type != VarType::Continuous) integer_vars_.push_back(v);
@@ -200,11 +204,12 @@ class BranchAndBound {
       bool used_warm = false;
       std::int64_t dual_pivots = 0;
       LpResult lp =
-          engine_.solve(lower_, upper_, params_.warm_lp && entry.node != 0,
-                        &used_warm, &dual_pivots);
+          engine_->solve(lower_, upper_, params_.warm_lp && entry.node != 0,
+                         &used_warm, &dual_pivots);
       ++stats_.lp_solves;
       stats_.simplex_iterations += lp.iterations;
       stats_.dual_pivots += dual_pivots;
+      stats_.refactorizations += lp.factorizations;
       if (entry.node != 0) {
         if (used_warm) ++stats_.warm_hits;
         else ++stats_.warm_misses;
@@ -246,9 +251,9 @@ class BranchAndBound {
       // children inherit the fixes through the node's extra range).
       if (params_.rc_fixing && has_incumbent_) {
         fix_buffer_.clear();
-        engine_.collectReducedCostFixes(pruneBound() - lp.objective,
-                                        params_.integrality_tol,
-                                        &fix_buffer_);
+        engine_->collectReducedCostFixes(pruneBound() - lp.objective,
+                                         params_.integrality_tol,
+                                         &fix_buffer_);
         if (!fix_buffer_.empty()) applyRcFixes(entry.node);
       }
 
@@ -403,7 +408,7 @@ class BranchAndBound {
     const Node& n = nodes_[static_cast<std::size_t>(node_id)];
     if (n.var >= 0) setCurrentBounds(n.var, n.lower, n.upper);
     for (int k = 0; k < n.extra_count; ++k) {
-      const SimplexEngine::Fix& fix =
+      const LpBackend::Fix& fix =
           rc_fixes_[static_cast<std::size_t>(n.extra_begin + k)];
       setCurrentBounds(fix.var, fix.value, fix.value);
     }
@@ -438,7 +443,7 @@ class BranchAndBound {
     Node& n = nodes_[static_cast<std::size_t>(node_id)];
     n.extra_begin = static_cast<int>(rc_fixes_.size());
     n.extra_count = static_cast<int>(fix_buffer_.size());
-    for (const SimplexEngine::Fix& fix : fix_buffer_) {
+    for (const LpBackend::Fix& fix : fix_buffer_) {
       rc_fixes_.push_back(fix);
       setCurrentBounds(fix.var, fix.value, fix.value);
     }
@@ -505,7 +510,7 @@ class BranchAndBound {
   const SolveParams& params_;
   Strategy strategy_;
   RaceState* race_;
-  SimplexEngine engine_;
+  std::unique_ptr<LpBackend> engine_;  ///< selected via params.engine
   Clock::time_point start_;
 
   std::vector<VarId> integer_vars_;
@@ -521,8 +526,8 @@ class BranchAndBound {
   std::vector<Undo> undo_;
   std::vector<char> on_path_;
   std::vector<int> chain_;
-  std::vector<SimplexEngine::Fix> rc_fixes_;
-  std::vector<SimplexEngine::Fix> fix_buffer_;
+  std::vector<LpBackend::Fix> rc_fixes_;
+  std::vector<LpBackend::Fix> fix_buffer_;
 
   std::vector<double> incumbent_;
   double incumbent_obj_ = kInfinity;

@@ -22,6 +22,36 @@ const double* SimplexEngine::rowPtr(int row) const {
          static_cast<std::size_t>(row) * static_cast<std::size_t>(width_);
 }
 
+double SimplexEngine::debugMaxRowResidual() const {
+  if (tableau_.empty()) return 0.0;
+  std::vector<double> w(static_cast<std::size_t>(num_cols_), 0.0);
+  for (int i = 0; i < num_rows_; ++i)
+    w[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        rowPtr(i)[num_cols_];
+  for (int c = 0; c < num_cols_; ++c)
+    if (complemented_[static_cast<std::size_t>(c)])
+      w[static_cast<std::size_t>(c)] =
+          col_upper_[static_cast<std::size_t>(c)] -
+          w[static_cast<std::size_t>(c)];
+  double worst = 0.0;
+  for (int i = 0; i < num_rows_; ++i) {
+    double activity = 0.0;
+    for (const auto& [col, coeff] : form_.rows[static_cast<std::size_t>(i)])
+      activity += coeff * (w[static_cast<std::size_t>(col)] +
+                           shift_[static_cast<std::size_t>(col)]);
+    const double f = debug_flip_[static_cast<std::size_t>(i)] ? -1.0 : 1.0;
+    double lhs = f * (activity - form_.rhs[static_cast<std::size_t>(i)]);
+    const int slack = form_.slack_col[static_cast<std::size_t>(i)];
+    if (slack >= 0)
+      lhs += debug_slack_sign_[static_cast<std::size_t>(i)] *
+             w[static_cast<std::size_t>(slack)];
+    const int art = form_.artificial_col[static_cast<std::size_t>(i)];
+    if (art >= 0) lhs += w[static_cast<std::size_t>(art)];
+    worst = std::max(worst, std::abs(lhs));
+  }
+  return worst;
+}
+
 std::int64_t SimplexEngine::blandThreshold() const {
   if (params_.bland_iteration_override > 0)
     return params_.bland_iteration_override;
@@ -75,6 +105,8 @@ void SimplexEngine::loadCold(const std::vector<double>& lower,
   // Rows: rhs shifted by the offsets, sign-flipped non-negative, slack or
   // artificial made basic. Reserved artificial columns a load does not use
   // stay all-zero and pinned at upper bound 0.
+  debug_flip_.assign(static_cast<std::size_t>(num_rows_), 0);
+  debug_slack_sign_.assign(static_cast<std::size_t>(num_rows_), 0.0);
   for (int i = 0; i < num_rows_; ++i) {
     double* row = rowPtr(i);
     double rhs = form_.rhs[static_cast<std::size_t>(i)];
@@ -88,7 +120,12 @@ void SimplexEngine::loadCold(const std::vector<double>& lower,
       rhs = -rhs;
       if (sense == Sense::LessEqual) sense = Sense::GreaterEqual;
       else if (sense == Sense::GreaterEqual) sense = Sense::LessEqual;
+      debug_flip_[static_cast<std::size_t>(i)] = 1;
     }
+    debug_slack_sign_[static_cast<std::size_t>(i)] =
+        sense == Sense::LessEqual ? 1.0
+        : form_.slack_col[static_cast<std::size_t>(i)] >= 0 ? -1.0
+                                                            : 0.0;
     const int slack = form_.slack_col[static_cast<std::size_t>(i)];
     const int artificial = form_.artificial_col[static_cast<std::size_t>(i)];
     col_upper_[static_cast<std::size_t>(artificial)] = 0.0;
@@ -294,9 +331,14 @@ std::optional<LpResult> SimplexEngine::warmSolve(
   LpResult result;
   result.iterations = call_iterations_;
   if (status == DualStatus::Infeasible) {
-    // The basis stays dual-feasible, so the engine remains warm-startable.
-    result.status = LpStatus::Infeasible;
-    return result;
+    // Never report infeasibility from the warm path: the verdict comes from
+    // a single violated row at the end of a pivot chain, exactly where
+    // accumulated amplification noise concentrates, so a drifted tableau can
+    // "prove" infeasibility of a feasible box (and the drifted state would
+    // then poison every later warm solve). Fall back to the cold two-phase
+    // solve, which both confirms the verdict exactly and rebuilds the
+    // tableau from scratch.
+    return std::nullopt;
   }
 
   // Post-solve drift scan (cheap O(n)): dual pivots should have preserved
@@ -337,6 +379,17 @@ SimplexEngine::DualStatus SimplexEngine::dualIterate() {
     bool at_upper = false;
     double worst = tol;
     for (int i = 0; i < num_rows_; ++i) {
+      // A row whose basic column is still an (expelled, pinned-at-zero)
+      // artificial is redundant: its structural coefficients are all below
+      // the expel threshold, so its rhs only carries accumulated bound-delta
+      // noise. Treating that noise as a bound violation either "proves"
+      // infeasibility from a row that constrains nothing or forces a pivot
+      // on a ~1e-7 element, amplifying the noise into the whole tableau and
+      // corrupting every later warm solve.
+      if (form_.columns[static_cast<std::size_t>(
+                            basis_[static_cast<std::size_t>(i)])]
+              .artificial)
+        continue;
       const double value = rowPtr(i)[num_cols_];
       const double ub = col_upper_[static_cast<std::size_t>(
           basis_[static_cast<std::size_t>(i)])];
@@ -362,12 +415,22 @@ SimplexEngine::DualStatus SimplexEngine::dualIterate() {
     const double* row = rowPtr(leave);
     const double* costs = rowPtr(num_rows_);
     int entering = -1;
+    bool tiny_candidate = false;
     double best_ratio = kInfinity;
     double best_mag = 0.0;
     for (int c = 0; c < num_cols_; ++c) {
       if (!isEnteringCandidate(c, /*phase1=*/false)) continue;
       const double alpha = row[c];
       if (alpha >= -kEps) continue;
+      // Pivoting on a near-kEps element scales the pivot row by up to 1e9,
+      // amplifying accumulated rounding noise into macroscopic tableau
+      // corruption that every later warm solve inherits. Such columns are
+      // not admissible pivots; if they are the only candidates, the state
+      // is numerically unsafe and the caller must rebuild cold.
+      if (alpha > -kDualPivotTol) {
+        tiny_candidate = true;
+        continue;
+      }
       double ratio = costs[c] / (-alpha);
       if (ratio < 0.0) ratio = 0.0;  // dual-feasibility noise
       const bool strictly_better = ratio < best_ratio - kEps;
@@ -380,7 +443,12 @@ SimplexEngine::DualStatus SimplexEngine::dualIterate() {
         best_mag = std::abs(alpha);
       }
     }
-    if (entering < 0) return DualStatus::Infeasible;
+    if (entering < 0) {
+      // Only numerically-unsafe candidates: neither pivoting nor an
+      // infeasibility verdict is trustworthy — fall back to a cold solve.
+      if (tiny_candidate) return DualStatus::Stalled;
+      return DualStatus::Infeasible;
+    }
 
     pivot(leave, entering);
     ++call_iterations_;

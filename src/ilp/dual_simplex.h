@@ -32,24 +32,22 @@
 #include <optional>
 #include <vector>
 
+#include "ilp/lp_backend.h"
 #include "ilp/model.h"
-#include "ilp/simplex.h"
 #include "ilp/standard_form.h"
 #include "ilp/types.h"
 
 namespace pdw::ilp {
 
-class SimplexEngine {
+/// The dense-tableau backend, registered as "dense". Superseded by the
+/// sparse revised simplex (revised_simplex.h) as the default engine, it is
+/// kept as the cross-check oracle for the differential test suite — two
+/// independent implementations agreeing on objectives within 1e-6 is the
+/// main guard against silent numerics bugs in either.
+class SimplexEngine final : public LpBackend {
  public:
   /// `model` and `params` must outlive the engine.
   SimplexEngine(const Model& model, const SolveParams& params);
-
-  /// A reduced-cost bound fixing: `var` provably sits at `value` in every
-  /// improving solution of the current subtree.
-  struct Fix {
-    VarId var = -1;
-    double value = 0.0;
-  };
 
   /// Solve the LP with the given bounds. When `allow_warm` and the engine
   /// holds a usable dual-feasible state, re-optimizes with the dual simplex
@@ -59,25 +57,40 @@ class SimplexEngine {
   LpResult solve(const std::vector<double>& lower,
                  const std::vector<double>& upper, bool allow_warm,
                  bool* used_warm = nullptr,
-                 std::int64_t* dual_pivots = nullptr);
+                 std::int64_t* dual_pivots = nullptr) override;
 
   /// Full two-phase primal solve from scratch (also resets the warm state).
   LpResult coldSolve(const std::vector<double>& lower,
-                     const std::vector<double>& upper);
+                     const std::vector<double>& upper) override;
 
   /// True when the engine holds a dual-feasible basis a warm solve can
   /// start from.
-  bool warmReady() const { return ready_; }
+  bool warmReady() const override { return ready_; }
 
   /// Reduced-cost fixings at the current optimum: every nonbasic integer
   /// variable whose reduced cost exceeds `gap` (incumbent objective minus
   /// this LP's objective) by a safety margin. Only valid immediately after
   /// a solve that returned Optimal.
   void collectReducedCostFixes(double gap, double integrality_tol,
-                               std::vector<Fix>* out) const;
+                               std::vector<Fix>* out) const override;
+
+  const char* name() const override { return "dense"; }
+
+  /// Test-only invariant probe: reconstructs the current point (all
+  /// nonbasic columns at zero, basics at their rhs cells, complements and
+  /// shifts unwound) and returns the worst absolute violation of the loaded
+  /// row equations. A healthy tableau keeps this at rounding noise no
+  /// matter how many warm deltas and pivots have been applied; anything
+  /// macroscopic means the warm bookkeeping corrupted the representation.
+  double debugMaxRowResidual() const;
 
  private:
   static constexpr double kEps = 1e-9;
+  /// Minimum |pivot| admissible in the dual ratio test. kEps-sized pivots
+  /// are valid in exact arithmetic but scale the pivot row by ~1/kEps,
+  /// amplifying rounding noise into persistent tableau corruption; a row
+  /// with only sub-tolerance candidates forces a cold rebuild instead.
+  static constexpr double kDualPivotTol = 1e-7;
   /// Forced cold refresh cadence: every Nth would-be-warm solve runs cold
   /// instead, bounding numerical drift accumulated by long pivot chains.
   static constexpr std::int64_t kColdRefreshInterval = 256;
@@ -122,6 +135,11 @@ class SimplexEngine {
   std::vector<double> col_upper_;  ///< per-column upper bound (shifted)
   /// Model-space bounds of the last load; warm solves diff against these.
   std::vector<double> cur_lower_, cur_upper_;
+
+  /// Load-time row bookkeeping consumed only by debugMaxRowResidual():
+  /// whether the row was sign-flipped, and the post-flip slack coefficient.
+  std::vector<char> debug_flip_;
+  std::vector<double> debug_slack_sign_;
 
   bool has_artificials_ = false;
   bool ready_ = false;

@@ -1,0 +1,97 @@
+// Engine-agnostic LP backend seam.
+//
+// Branch-and-bound, the lazy-cut callback and the standalone `ilp::solve`
+// LP path all talk to this interface instead of a concrete simplex
+// implementation, so the MILP layer does not know which LP engine is
+// underneath (the solver-abstraction shape of TCPSPSuite's
+// contrib/ilpabstraction, DESIGN.md §12). Two backends ship in-tree:
+//
+//  * "revised" (default) — sparse revised simplex over a factorized basis
+//    (revised_simplex.h): CSC storage, Markowitz LU with product-form
+//    updates and periodic refactorization, native bounded-variable columns,
+//    devex pricing.
+//  * "dense" — the original dense-tableau SimplexEngine (dual_simplex.h),
+//    kept as the cross-check oracle for the differential test suite.
+//
+// Both honor the same warm-start contract (DESIGN.md §11): `solve` with
+// `allow_warm` re-optimizes with the dual simplex from the engine's current
+// basis after the caller's bound deltas, falls back to a cold solve
+// deterministically, and exposes reduced-cost fixing at the node optimum.
+// Backends are stateful and single-threaded by design — one instance per
+// branch-and-bound lane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ilp/types.h"
+
+namespace pdw::ilp {
+
+class Model;
+
+class LpBackend {
+ public:
+  /// A reduced-cost bound fixing: `var` provably sits at `value` in every
+  /// improving solution of the current subtree.
+  struct Fix {
+    VarId var = -1;
+    double value = 0.0;
+  };
+
+  virtual ~LpBackend() = default;
+
+  /// Solve the LP with the given bounds. When `allow_warm` and the backend
+  /// holds a usable dual-feasible state, re-optimizes with the dual simplex
+  /// (setting *used_warm); otherwise runs a cold solve. Either path returns
+  /// the same status/objective (the warm path is exact, not approximate).
+  /// `dual_pivots` receives the dual pivots of this call.
+  virtual LpResult solve(const std::vector<double>& lower,
+                         const std::vector<double>& upper, bool allow_warm,
+                         bool* used_warm = nullptr,
+                         std::int64_t* dual_pivots = nullptr) = 0;
+
+  /// Full cold solve from scratch (also resets the warm state).
+  virtual LpResult coldSolve(const std::vector<double>& lower,
+                             const std::vector<double>& upper) = 0;
+
+  /// True when the backend holds a dual-feasible basis a warm solve can
+  /// start from.
+  virtual bool warmReady() const = 0;
+
+  /// Reduced-cost fixings at the current optimum: every nonbasic integer
+  /// variable whose reduced cost exceeds `gap` (incumbent objective minus
+  /// this LP's objective) by a safety margin. Only valid immediately after
+  /// a solve that returned Optimal.
+  virtual void collectReducedCostFixes(double gap, double integrality_tol,
+                                       std::vector<Fix>* out) const = 0;
+
+  /// Registry name of this backend ("revised", "dense", ...).
+  virtual const char* name() const = 0;
+};
+
+/// Factory signature: `model` and `params` must outlive the backend.
+using LpBackendFactory = std::function<std::unique_ptr<LpBackend>(
+    const Model& model, const SolveParams& params)>;
+
+/// Register a backend under `name` (replaces a previous registration of the
+/// same name). The built-ins "revised" and "dense" are pre-registered.
+void registerLpBackend(const std::string& name, LpBackendFactory factory);
+
+/// Instantiate the backend selected by `name` ("" resolves to
+/// defaultLpBackendName()). An unknown name falls back to the default with
+/// a warning — solves must not fail over a config typo.
+std::unique_ptr<LpBackend> makeLpBackend(const std::string& name,
+                                         const Model& model,
+                                         const SolveParams& params);
+
+/// Registered backend names, sorted (for CLI help / diagnostics).
+std::vector<std::string> lpBackendNames();
+
+/// Name the empty engine string resolves to ("revised").
+const std::string& defaultLpBackendName();
+
+}  // namespace pdw::ilp

@@ -1,0 +1,849 @@
+#include "ilp/revised_simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdw::ilp {
+
+RevisedSimplex::RevisedSimplex(const Model& model, const SolveParams& params)
+    : model_(model),
+      params_(params),
+      csc_(StandardForm::buildStructuralCsc(model)) {
+  n_ = model.numVars();
+  m_ = model.numConstraints();
+  total_ = n_ + m_;
+
+  cost_.assign(static_cast<std::size_t>(n_), 0.0);
+  for (const auto& [var, coeff] : model.objective().terms())
+    cost_[static_cast<std::size_t>(var)] += coeff;
+
+  rhs_.resize(static_cast<std::size_t>(m_));
+  slack_lb_.resize(static_cast<std::size_t>(m_));
+  slack_ub_.resize(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& c = model.constraint(i);
+    rhs_[static_cast<std::size_t>(i)] = c.rhs;
+    switch (c.sense) {
+      case Sense::LessEqual:
+        slack_lb_[static_cast<std::size_t>(i)] = 0.0;
+        slack_ub_[static_cast<std::size_t>(i)] = kInfinity;
+        break;
+      case Sense::GreaterEqual:
+        slack_lb_[static_cast<std::size_t>(i)] = -kInfinity;
+        slack_ub_[static_cast<std::size_t>(i)] = 0.0;
+        break;
+      case Sense::Equal:
+        slack_lb_[static_cast<std::size_t>(i)] = 0.0;
+        slack_ub_[static_cast<std::size_t>(i)] = 0.0;
+        break;
+    }
+  }
+
+  alpha_.resize(static_cast<std::size_t>(m_));
+  rho_.resize(static_cast<std::size_t>(m_));
+  row_.resize(static_cast<std::size_t>(total_));
+}
+
+std::int64_t RevisedSimplex::blandThreshold() const {
+  if (params_.bland_iteration_override > 0)
+    return params_.bland_iteration_override;
+  return 2000 + 40LL * (m_ + total_);
+}
+
+std::int64_t RevisedSimplex::perRunCap() const {
+  return std::min<std::int64_t>(params_.simplex_iteration_limit,
+                                120LL * (m_ + total_) + 5000);
+}
+
+void RevisedSimplex::columnEntries(int col, BasisLu::SparseColumn* out) const {
+  out->clear();
+  if (col < n_) {
+    for (int k = csc_.col_start[static_cast<std::size_t>(col)];
+         k < csc_.col_start[static_cast<std::size_t>(col) + 1]; ++k)
+      out->emplace_back(csc_.row_index[static_cast<std::size_t>(k)],
+                        csc_.value[static_cast<std::size_t>(k)]);
+  } else {
+    out->emplace_back(col - n_, 1.0);
+  }
+}
+
+void RevisedSimplex::ftranColumn(int col, std::vector<double>* alpha) const {
+  alpha->assign(static_cast<std::size_t>(m_), 0.0);
+  if (col < n_) {
+    for (int k = csc_.col_start[static_cast<std::size_t>(col)];
+         k < csc_.col_start[static_cast<std::size_t>(col) + 1]; ++k)
+      (*alpha)[static_cast<std::size_t>(
+          csc_.row_index[static_cast<std::size_t>(k)])] =
+          csc_.value[static_cast<std::size_t>(k)];
+  } else {
+    (*alpha)[static_cast<std::size_t>(col - n_)] = 1.0;
+  }
+  lu_.ftran(*alpha);
+}
+
+void RevisedSimplex::pivotRow(int pos, std::vector<double>* rho,
+                              std::vector<double>* row) const {
+  rho->assign(static_cast<std::size_t>(m_), 0.0);
+  (*rho)[static_cast<std::size_t>(pos)] = 1.0;
+  lu_.btran(*rho);
+  // Price every nonbasic column against rho (including currently fixed
+  // columns — their reduced costs must stay maintained so a later bound
+  // loosening can warm-start). Basic slots are left stale on purpose.
+  for (int j = 0; j < total_; ++j) {
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0) continue;
+    double v = 0.0;
+    if (j < n_) {
+      for (int k = csc_.col_start[static_cast<std::size_t>(j)];
+           k < csc_.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        v += csc_.value[static_cast<std::size_t>(k)] *
+             (*rho)[static_cast<std::size_t>(
+                 csc_.row_index[static_cast<std::size_t>(k)])];
+    } else {
+      v = (*rho)[static_cast<std::size_t>(j - n_)];
+    }
+    (*row)[static_cast<std::size_t>(j)] = v;
+  }
+}
+
+bool RevisedSimplex::refactor() {
+  std::vector<BasisLu::SparseColumn> cols(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i)
+    columnEntries(basis_[static_cast<std::size_t>(i)],
+                  &cols[static_cast<std::size_t>(i)]);
+  if (!lu_.factor(m_, cols)) return false;
+  ++call_factorizations_;
+  // Re-anchor drift: both the basic values and the reduced costs are
+  // recomputed from scratch against the fresh factors.
+  computeBasicValues();
+  computeDuals();
+  return true;
+}
+
+void RevisedSimplex::computeBasicValues() {
+  std::vector<double>& r = alpha_;
+  r.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i)
+    r[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)];
+  for (int j = 0; j < total_; ++j) {
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0) continue;
+    const double xj = x_[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    if (j < n_) {
+      for (int k = csc_.col_start[static_cast<std::size_t>(j)];
+           k < csc_.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        r[static_cast<std::size_t>(
+            csc_.row_index[static_cast<std::size_t>(k)])] -=
+            csc_.value[static_cast<std::size_t>(k)] * xj;
+    } else {
+      r[static_cast<std::size_t>(j - n_)] -= xj;
+    }
+  }
+  lu_.ftran(r);
+  for (int i = 0; i < m_; ++i)
+    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        r[static_cast<std::size_t>(i)];
+}
+
+void RevisedSimplex::computeDuals() {
+  std::vector<double>& y = rho_;
+  y.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i)
+    y[static_cast<std::size_t>(i)] = cost(basis_[static_cast<std::size_t>(i)]);
+  lu_.btran(y);
+  for (int j = 0; j < total_; ++j) {
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0) {
+      d_[static_cast<std::size_t>(j)] = 0.0;
+      continue;
+    }
+    if (j < n_) {
+      double v = cost_[static_cast<std::size_t>(j)];
+      for (int k = csc_.col_start[static_cast<std::size_t>(j)];
+           k < csc_.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        v -= csc_.value[static_cast<std::size_t>(k)] *
+             y[static_cast<std::size_t>(
+                 csc_.row_index[static_cast<std::size_t>(k)])];
+      d_[static_cast<std::size_t>(j)] = v;
+    } else {
+      d_[static_cast<std::size_t>(j)] = -y[static_cast<std::size_t>(j - n_)];
+    }
+  }
+}
+
+void RevisedSimplex::resetDevex() {
+  devex_.assign(static_cast<std::size_t>(total_), 1.0);
+}
+
+// ---- cold path: dual Phase 1 + devex primal Phase 2 ----------------------
+
+void RevisedSimplex::loadCold(const std::vector<double>& lower,
+                              const std::vector<double>& upper) {
+  lb_.assign(static_cast<std::size_t>(total_), 0.0);
+  ub_.assign(static_cast<std::size_t>(total_), 0.0);
+  vstat_.assign(static_cast<std::size_t>(total_), VStat::Basic);
+  x_.assign(static_cast<std::size_t>(total_), 0.0);
+  d_.assign(static_cast<std::size_t>(total_), 0.0);
+  basis_.resize(static_cast<std::size_t>(m_));
+  pos_of_.assign(static_cast<std::size_t>(total_), -1);
+
+  for (int j = 0; j < n_; ++j) {
+    const double lb = lower[static_cast<std::size_t>(j)];
+    const double ub = upper[static_cast<std::size_t>(j)];
+    lb_[static_cast<std::size_t>(j)] = lb;
+    ub_[static_cast<std::size_t>(j)] = ub;
+    if (std::isfinite(lb)) {
+      vstat_[static_cast<std::size_t>(j)] = VStat::Lower;
+      x_[static_cast<std::size_t>(j)] = lb;
+    } else if (std::isfinite(ub)) {
+      vstat_[static_cast<std::size_t>(j)] = VStat::Upper;
+      x_[static_cast<std::size_t>(j)] = ub;
+    } else {
+      vstat_[static_cast<std::size_t>(j)] = VStat::Free;
+      x_[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int s = n_ + i;
+    lb_[static_cast<std::size_t>(s)] = slack_lb_[static_cast<std::size_t>(i)];
+    ub_[static_cast<std::size_t>(s)] = slack_ub_[static_cast<std::size_t>(i)];
+    basis_[static_cast<std::size_t>(i)] = s;
+    pos_of_[static_cast<std::size_t>(s)] = i;
+    vstat_[static_cast<std::size_t>(s)] = VStat::Basic;
+  }
+  cur_lower_ = lower;
+  cur_upper_ = upper;
+}
+
+bool RevisedSimplex::hasPrimalViolation() const {
+  const double tol = params_.feasibility_tol;
+  for (int i = 0; i < m_; ++i) {
+    const int p = basis_[static_cast<std::size_t>(i)];
+    const double v = x_[static_cast<std::size_t>(p)];
+    if (v < lb_[static_cast<std::size_t>(p)] - tol ||
+        v > ub_[static_cast<std::size_t>(p)] + tol)
+      return true;
+  }
+  return false;
+}
+
+LpResult RevisedSimplex::runCold(const std::vector<double>& lower,
+                                 const std::vector<double>& upper) {
+  ready_ = false;
+  warm_since_cold_ = 0;
+
+  LpResult result;
+  for (int j = 0; j < n_; ++j) {
+    if (lower[static_cast<std::size_t>(j)] >
+        upper[static_cast<std::size_t>(j)] + kEps) {
+      result.status = LpStatus::Infeasible;
+      result.iterations = call_iterations_;
+      result.factorizations = call_factorizations_;
+      return result;
+    }
+  }
+
+  loadCold(lower, upper);
+  if (!refactor()) {  // all-slack basis: cannot fail, defensive only
+    result.status = LpStatus::IterLimit;
+    result.iterations = call_iterations_;
+    result.factorizations = call_factorizations_;
+    return result;
+  }
+  resetDevex();
+
+  // Phase 1: zero-cost dual simplex from the all-slack basis (every basis
+  // is dual-feasible for the zero objective, so dual pivots just chase out
+  // the bound violations). Skipped entirely when the slack start is already
+  // primal feasible.
+  if (hasPrimalViolation()) {
+    const DualStatus phase1 = dualIterate(/*zero_cost=*/true, perRunCap());
+    result.iterations = call_iterations_;
+    result.factorizations = call_factorizations_;
+    if (phase1 == DualStatus::Stalled) {
+      result.status = LpStatus::IterLimit;
+      return result;
+    }
+    if (phase1 == DualStatus::Infeasible) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+    computeDuals();  // restore real-cost reduced costs for Phase 2
+  }
+
+  const LpStatus phase2 = primalIterate();
+  result.iterations = call_iterations_;
+  result.factorizations = call_factorizations_;
+  if (phase2 != LpStatus::Optimal) {
+    result.status = phase2;
+    return result;
+  }
+
+  result.status = LpStatus::Optimal;
+  result.values = extractValues();
+  result.objective = model_.objective().evaluate(result.values);
+  ready_ = true;
+  return result;
+}
+
+LpResult RevisedSimplex::coldSolve(const std::vector<double>& lower,
+                                   const std::vector<double>& upper) {
+  call_iterations_ = 0;
+  call_dual_pivots_ = 0;
+  call_factorizations_ = 0;
+  return runCold(lower, upper);
+}
+
+LpResult RevisedSimplex::solve(const std::vector<double>& lower,
+                               const std::vector<double>& upper,
+                               bool allow_warm, bool* used_warm,
+                               std::int64_t* dual_pivots) {
+  call_iterations_ = 0;
+  call_dual_pivots_ = 0;
+  call_factorizations_ = 0;
+  bool warm = false;
+  LpResult result;
+  if (allow_warm && ready_ && warm_since_cold_ < kColdRefreshInterval) {
+    if (std::optional<LpResult> r = warmSolve(lower, upper)) {
+      warm = true;
+      ++warm_since_cold_;
+      result = std::move(*r);
+    }
+  }
+  if (!warm) result = runCold(lower, upper);
+  if (used_warm) *used_warm = warm;
+  if (dual_pivots) *dual_pivots = call_dual_pivots_;
+  return result;
+}
+
+// ---- warm path: aggregated bound deltas + dual simplex -------------------
+
+std::optional<LpResult> RevisedSimplex::warmSolve(
+    const std::vector<double>& lower, const std::vector<double>& upper) {
+  // Validation pass: nothing is mutated until the whole delta is known to
+  // be expressible, so bailing out leaves the engine state untouched.
+  for (int j = 0; j < n_; ++j) {
+    const double lb = lower[static_cast<std::size_t>(j)];
+    const double ub = upper[static_cast<std::size_t>(j)];
+    if (lb > ub + kEps) {
+      // Trivially empty box: report without touching the engine, so it can
+      // keep warm-starting from its current state.
+      LpResult result;
+      result.status = LpStatus::Infeasible;
+      result.iterations = call_iterations_;
+      result.factorizations = call_factorizations_;
+      return result;
+    }
+    if (lb == cur_lower_[static_cast<std::size_t>(j)] &&
+        ub == cur_upper_[static_cast<std::size_t>(j)])
+      continue;
+    switch (vstat_[static_cast<std::size_t>(j)]) {
+      case VStat::Basic:
+        break;  // bound changes on basic columns only move the violation set
+      case VStat::Lower:
+        if (!std::isfinite(lb)) return std::nullopt;
+        break;
+      case VStat::Upper:
+        if (!std::isfinite(ub)) return std::nullopt;
+        break;
+      case VStat::Free:
+        // Free nonbasic columns rest at a value, not a bound; a bound
+        // appearing under them is a cold-restart case (it never happens in
+        // branch-and-bound, which only branches on bounded integers).
+        return std::nullopt;
+    }
+  }
+
+  // Apply: move every changed nonbasic column to its new bound and fold all
+  // the deltas into ONE aggregated right-hand-side correction — a single
+  // FTRAN re-prices the whole basic solution regardless of how many bounds
+  // changed (the dense engine pays one rank-one pass per changed column).
+  std::vector<double> agg(static_cast<std::size_t>(m_), 0.0);
+  bool any_delta = false;
+  const auto addColumnTimes = [&](int j, double delta) {
+    if (j < n_) {
+      for (int k = csc_.col_start[static_cast<std::size_t>(j)];
+           k < csc_.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        agg[static_cast<std::size_t>(
+            csc_.row_index[static_cast<std::size_t>(k)])] +=
+            csc_.value[static_cast<std::size_t>(k)] * delta;
+    } else {
+      agg[static_cast<std::size_t>(j - n_)] += delta;
+    }
+    any_delta = true;
+  };
+
+  for (int j = 0; j < n_; ++j) {
+    const double lb = lower[static_cast<std::size_t>(j)];
+    const double ub = upper[static_cast<std::size_t>(j)];
+    if (lb == cur_lower_[static_cast<std::size_t>(j)] &&
+        ub == cur_upper_[static_cast<std::size_t>(j)])
+      continue;
+    double delta = 0.0;
+    switch (vstat_[static_cast<std::size_t>(j)]) {
+      case VStat::Lower:
+        delta = lb - x_[static_cast<std::size_t>(j)];
+        x_[static_cast<std::size_t>(j)] = lb;
+        break;
+      case VStat::Upper:
+        delta = ub - x_[static_cast<std::size_t>(j)];
+        x_[static_cast<std::size_t>(j)] = ub;
+        break;
+      default:
+        break;
+    }
+    lb_[static_cast<std::size_t>(j)] = lb;
+    ub_[static_cast<std::size_t>(j)] = ub;
+    cur_lower_[static_cast<std::size_t>(j)] = lb;
+    cur_upper_[static_cast<std::size_t>(j)] = ub;
+    if (delta != 0.0) addColumnTimes(j, delta);
+  }
+
+  // Dual feasibility repair. Bound changes never touch reduced costs, but
+  // loosening a bound can resurrect a column that was pinned (lb == ub) at
+  // the previous optimum while resting at the dual-wrong bound — it was
+  // allowed to stay there because it could not move. Flip it to the other
+  // bound; a column with no finite bound to flip to forces a cold rebuild
+  // (mutations are fine past this point, the fallback reloads everything).
+  for (int j = 0; j < total_; ++j) {
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0 || fixedCol(j)) continue;
+    const double dj = d_[static_cast<std::size_t>(j)];
+    if (vstat_[static_cast<std::size_t>(j)] == VStat::Lower && dj < -1e-7) {
+      if (!std::isfinite(ub_[static_cast<std::size_t>(j)]))
+        return std::nullopt;
+      const double delta =
+          ub_[static_cast<std::size_t>(j)] - x_[static_cast<std::size_t>(j)];
+      x_[static_cast<std::size_t>(j)] = ub_[static_cast<std::size_t>(j)];
+      vstat_[static_cast<std::size_t>(j)] = VStat::Upper;
+      if (delta != 0.0) addColumnTimes(j, delta);
+    } else if (vstat_[static_cast<std::size_t>(j)] == VStat::Upper &&
+               dj > 1e-7) {
+      if (!std::isfinite(lb_[static_cast<std::size_t>(j)]))
+        return std::nullopt;
+      const double delta =
+          lb_[static_cast<std::size_t>(j)] - x_[static_cast<std::size_t>(j)];
+      x_[static_cast<std::size_t>(j)] = lb_[static_cast<std::size_t>(j)];
+      vstat_[static_cast<std::size_t>(j)] = VStat::Lower;
+      if (delta != 0.0) addColumnTimes(j, delta);
+    } else if (vstat_[static_cast<std::size_t>(j)] == VStat::Free &&
+               std::abs(dj) > 1e-7) {
+      return std::nullopt;
+    }
+  }
+
+  if (any_delta) {
+    lu_.ftran(agg);  // agg becomes B^{-1} N delta, by position
+    for (int i = 0; i < m_; ++i)
+      x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+          agg[static_cast<std::size_t>(i)];
+  }
+
+  // Re-optimize with the dual simplex; the cap mirrors SimplexEngine — a
+  // healthy warm re-solve takes a handful of pivots, and large best-first
+  // jumps legitimately need more, scaling with the model.
+  const std::int64_t cap = 1000 + 4LL * (m_ + total_);
+  const DualStatus status = dualIterate(/*zero_cost=*/false, cap);
+  if (status == DualStatus::Stalled) return std::nullopt;
+
+  LpResult result;
+  result.iterations = call_iterations_;
+  result.factorizations = call_factorizations_;
+  if (status == DualStatus::Infeasible) {
+    // The basis stays dual-feasible, so the engine remains warm-startable.
+    result.status = LpStatus::Infeasible;
+    return result;
+  }
+
+  // Post-solve drift scan (cheap O(n)): dual pivots should have preserved
+  // the reduced-cost sign conditions; rescue via cold solve if they did not.
+  for (int j = 0; j < total_; ++j) {
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0 || fixedCol(j)) continue;
+    const double dj = d_[static_cast<std::size_t>(j)];
+    switch (vstat_[static_cast<std::size_t>(j)]) {
+      case VStat::Lower:
+        if (dj < -1e-6) return std::nullopt;
+        break;
+      case VStat::Upper:
+        if (dj > 1e-6) return std::nullopt;
+        break;
+      case VStat::Free:
+        if (std::abs(dj) > 1e-6) return std::nullopt;
+        break;
+      case VStat::Basic:
+        break;
+    }
+  }
+
+  result.status = LpStatus::Optimal;
+  result.values = extractValues();
+  result.objective = model_.objective().evaluate(result.values);
+  ready_ = true;
+  return result;
+}
+
+// ---- iteration cores -----------------------------------------------------
+
+RevisedSimplex::DualStatus RevisedSimplex::dualIterate(bool zero_cost,
+                                                       std::int64_t cap) {
+  const std::int64_t bland_threshold = blandThreshold();
+  const double tol = params_.feasibility_tol;
+  std::int64_t local = 0;
+  int retries = 0;
+
+  while (true) {
+    if (local >= cap) return DualStatus::Stalled;
+    const bool bland = local > bland_threshold;
+
+    // Leaving row: the basic variable most out of bounds (Bland mode takes
+    // the smallest row index instead, for termination under degeneracy).
+    int r = -1;
+    bool above = false;
+    double worst = tol;
+    for (int i = 0; i < m_; ++i) {
+      const int p = basis_[static_cast<std::size_t>(i)];
+      const double v = x_[static_cast<std::size_t>(p)];
+      double viol = lb_[static_cast<std::size_t>(p)] - v;
+      bool up = false;
+      const double over = v - ub_[static_cast<std::size_t>(p)];
+      if (over > viol) {
+        viol = over;
+        up = true;
+      }
+      if (viol > worst) {
+        r = i;
+        above = up;
+        if (bland) break;
+        worst = viol;
+      }
+    }
+    if (r < 0) return DualStatus::Optimal;
+    const int p = basis_[static_cast<std::size_t>(r)];
+
+    pivotRow(r, &rho_, &row_);
+
+    // Dual ratio test over sign-eligible columns. With the row normalized
+    // by sgn (+1 when the leaving variable is above its upper bound, -1
+    // below its lower), an at-lower column needs a positive normalized
+    // entry to help, an at-upper column a negative one, and dual
+    // feasibility survives exactly for the minimum-ratio column (ties:
+    // larger |entry|, or smaller index under Bland). No candidate means the
+    // row proves primal infeasibility. Phase 1 (zero_cost) treats every
+    // reduced cost as 0, so all eligible ratios tie at 0 and the
+    // largest-entry tie-break picks the numerically safest pivot.
+    const double sgn = above ? 1.0 : -1.0;
+    int q = -1;
+    double best_ratio = kInfinity;
+    double best_mag = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (pos_of_[static_cast<std::size_t>(j)] >= 0 || fixedCol(j)) continue;
+      const double ahat = sgn * row_[static_cast<std::size_t>(j)];
+      bool eligible = false;
+      switch (vstat_[static_cast<std::size_t>(j)]) {
+        case VStat::Lower:
+          eligible = ahat > kEps;
+          break;
+        case VStat::Upper:
+          eligible = ahat < -kEps;
+          break;
+        case VStat::Free:
+          eligible = std::abs(ahat) > kEps;
+          break;
+        case VStat::Basic:
+          break;
+      }
+      if (!eligible) continue;
+      double ratio =
+          zero_cost ? 0.0 : d_[static_cast<std::size_t>(j)] / ahat;
+      if (ratio < 0.0) ratio = 0.0;  // dual-feasibility noise
+      const bool strictly_better = ratio < best_ratio - kEps;
+      const bool tie = !strictly_better && ratio <= best_ratio + kEps &&
+                       q >= 0 &&
+                       (bland ? j < q : std::abs(ahat) > best_mag);
+      if (strictly_better || q < 0 || tie) {
+        best_ratio = std::min(ratio, best_ratio);
+        q = j;
+        best_mag = std::abs(ahat);
+      }
+    }
+    if (q < 0) return DualStatus::Infeasible;
+
+    ftranColumn(q, &alpha_);
+    const double piv = alpha_[static_cast<std::size_t>(r)];
+    if (std::abs(piv) < kEps) {
+      // FTRAN disagrees with the priced row — stale factors; re-anchor.
+      if (++retries > 3 || !refactor()) return DualStatus::Stalled;
+      continue;
+    }
+    retries = 0;
+
+    // Primal step: drive the leaving variable exactly onto its violated
+    // bound; the entering variable absorbs the move.
+    const double target = above ? ub_[static_cast<std::size_t>(p)]
+                                : lb_[static_cast<std::size_t>(p)];
+    const double tq = (x_[static_cast<std::size_t>(p)] - target) / piv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double a = alpha_[static_cast<std::size_t>(i)];
+      if (a != 0.0)
+        x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+            tq * a;
+    }
+    const double xq_new = x_[static_cast<std::size_t>(q)] + tq;
+    const double theta = zero_cost ? 0.0 : d_[static_cast<std::size_t>(q)] / piv;
+
+    x_[static_cast<std::size_t>(p)] = target;
+    x_[static_cast<std::size_t>(q)] = xq_new;
+    basis_[static_cast<std::size_t>(r)] = q;
+    pos_of_[static_cast<std::size_t>(q)] = r;
+    pos_of_[static_cast<std::size_t>(p)] = -1;
+    vstat_[static_cast<std::size_t>(q)] = VStat::Basic;
+    vstat_[static_cast<std::size_t>(p)] = above ? VStat::Upper : VStat::Lower;
+    ++call_iterations_;
+    ++local;
+    if (!zero_cost) ++call_dual_pivots_;
+
+    const int interval =
+        lu_.usedDenseMode() ? kRefactorDense : kRefactorSparse;
+    bool refreshed = false;
+    if (lu_.updates() + 1 >= interval || !lu_.update(r, alpha_)) {
+      if (!refactor()) return DualStatus::Stalled;
+      refreshed = true;
+    }
+    if (!refreshed && !zero_cost) {
+      // Incremental reduced-cost update from the priced pivot row.
+      for (int j = 0; j < total_; ++j) {
+        if (pos_of_[static_cast<std::size_t>(j)] >= 0 || j == p) continue;
+        const double arj = row_[static_cast<std::size_t>(j)];
+        if (arj != 0.0) d_[static_cast<std::size_t>(j)] -= theta * arj;
+      }
+      d_[static_cast<std::size_t>(p)] = -theta;
+      d_[static_cast<std::size_t>(q)] = 0.0;
+    }
+  }
+}
+
+LpStatus RevisedSimplex::primalIterate() {
+  const std::int64_t bland_threshold = blandThreshold();
+  const std::int64_t per_run_cap = perRunCap();
+  const double tol = params_.feasibility_tol;
+  std::int64_t local = 0;
+  int retries = 0;
+
+  while (true) {
+    if (call_iterations_ >= per_run_cap) return LpStatus::IterLimit;
+    const bool bland = local > bland_threshold;
+
+    // Devex pricing: entering column maximizing d^2 / weight among columns
+    // whose reduced cost violates its sign condition (Bland: smallest such
+    // index).
+    int q = -1;
+    double best_score = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (pos_of_[static_cast<std::size_t>(j)] >= 0 || fixedCol(j)) continue;
+      const double dj = d_[static_cast<std::size_t>(j)];
+      bool viol = false;
+      switch (vstat_[static_cast<std::size_t>(j)]) {
+        case VStat::Lower:
+          viol = dj < -tol;
+          break;
+        case VStat::Upper:
+          viol = dj > tol;
+          break;
+        case VStat::Free:
+          viol = std::abs(dj) > tol;
+          break;
+        case VStat::Basic:
+          break;
+      }
+      if (!viol) continue;
+      if (bland) {
+        q = j;
+        break;
+      }
+      const double score = dj * dj / devex_[static_cast<std::size_t>(j)];
+      if (score > best_score) {
+        best_score = score;
+        q = j;
+      }
+    }
+    if (q < 0) return LpStatus::Optimal;
+
+    const double dq = d_[static_cast<std::size_t>(q)];
+    const double sigma = (vstat_[static_cast<std::size_t>(q)] == VStat::Upper)
+                             ? -1.0
+                         : (vstat_[static_cast<std::size_t>(q)] == VStat::Lower)
+                             ? 1.0
+                             : (dq < 0.0 ? 1.0 : -1.0);
+    ftranColumn(q, &alpha_);
+
+    // Ratio test: step t >= 0 along sigma until a basic variable hits a
+    // bound (ties: larger |entry|, smaller leaving index under Bland) or
+    // the entering column reaches its own opposite bound (a bound flip —
+    // no basis change).
+    double t_best = kInfinity;
+    int r = -1;
+    bool leave_at_upper = false;
+    double best_mag = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double delta = sigma * alpha_[static_cast<std::size_t>(i)];
+      if (std::abs(delta) <= kEps) continue;
+      const int p = basis_[static_cast<std::size_t>(i)];
+      double t;
+      bool up;
+      if (delta > 0.0) {  // basic value decreases with t
+        if (!std::isfinite(lb_[static_cast<std::size_t>(p)])) continue;
+        t = (x_[static_cast<std::size_t>(p)] -
+             lb_[static_cast<std::size_t>(p)]) /
+            delta;
+        up = false;
+      } else {  // basic value increases with t
+        if (!std::isfinite(ub_[static_cast<std::size_t>(p)])) continue;
+        t = (ub_[static_cast<std::size_t>(p)] -
+             x_[static_cast<std::size_t>(p)]) /
+            (-delta);
+        up = true;
+      }
+      if (t < 0.0) t = 0.0;  // degeneracy noise
+      const bool strictly_better = t < t_best - kEps;
+      const bool tie =
+          !strictly_better && t <= t_best + kEps && r >= 0 &&
+          (bland ? p < basis_[static_cast<std::size_t>(r)]
+                 : std::abs(delta) > best_mag);
+      if (strictly_better || r < 0 || tie) {
+        t_best = std::min(t, t_best);
+        r = i;
+        leave_at_upper = up;
+        best_mag = std::abs(delta);
+      }
+    }
+    double t_bound = kInfinity;
+    if (std::isfinite(lb_[static_cast<std::size_t>(q)]) &&
+        std::isfinite(ub_[static_cast<std::size_t>(q)]))
+      t_bound = ub_[static_cast<std::size_t>(q)] -
+                lb_[static_cast<std::size_t>(q)];
+
+    if (t_bound <= t_best) {
+      if (!std::isfinite(t_bound)) return LpStatus::Unbounded;
+      for (int i = 0; i < m_; ++i) {
+        const double delta = sigma * alpha_[static_cast<std::size_t>(i)];
+        if (delta != 0.0)
+          x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+              t_bound * delta;
+      }
+      vstat_[static_cast<std::size_t>(q)] =
+          (vstat_[static_cast<std::size_t>(q)] == VStat::Lower) ? VStat::Upper
+                                                                : VStat::Lower;
+      x_[static_cast<std::size_t>(q)] =
+          (vstat_[static_cast<std::size_t>(q)] == VStat::Upper)
+              ? ub_[static_cast<std::size_t>(q)]
+              : lb_[static_cast<std::size_t>(q)];
+      ++call_iterations_;
+      ++local;
+      continue;
+    }
+    if (r < 0) return LpStatus::Unbounded;
+
+    const double piv = alpha_[static_cast<std::size_t>(r)];
+    if (std::abs(piv) < kEps) {
+      if (++retries > 3 || !refactor()) return LpStatus::IterLimit;
+      continue;
+    }
+    retries = 0;
+    const int p = basis_[static_cast<std::size_t>(r)];
+
+    const int interval =
+        lu_.usedDenseMode() ? kRefactorDense : kRefactorSparse;
+    const bool want_refresh = lu_.updates() + 1 >= interval;
+    // The priced pivot row (for the reduced-cost/devex updates) must be
+    // computed against the pre-pivot factors.
+    if (!want_refresh) pivotRow(r, &rho_, &row_);
+
+    const double t = t_best;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double delta = sigma * alpha_[static_cast<std::size_t>(i)];
+      if (delta != 0.0)
+        x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+            t * delta;
+    }
+    x_[static_cast<std::size_t>(q)] += sigma * t;
+    x_[static_cast<std::size_t>(p)] = leave_at_upper
+                                          ? ub_[static_cast<std::size_t>(p)]
+                                          : lb_[static_cast<std::size_t>(p)];
+    basis_[static_cast<std::size_t>(r)] = q;
+    pos_of_[static_cast<std::size_t>(q)] = r;
+    pos_of_[static_cast<std::size_t>(p)] = -1;
+    vstat_[static_cast<std::size_t>(q)] = VStat::Basic;
+    vstat_[static_cast<std::size_t>(p)] =
+        leave_at_upper ? VStat::Upper : VStat::Lower;
+    ++call_iterations_;
+    ++local;
+
+    bool refreshed = true;
+    if (!want_refresh && lu_.update(r, alpha_)) {
+      refreshed = false;
+    } else if (!refactor()) {
+      return LpStatus::IterLimit;
+    }
+    if (!refreshed) {
+      const double theta = dq / piv;
+      const double wq = devex_[static_cast<std::size_t>(q)];
+      bool blown = false;
+      for (int j = 0; j < total_; ++j) {
+        if (pos_of_[static_cast<std::size_t>(j)] >= 0 || j == p) continue;
+        const double arj = row_[static_cast<std::size_t>(j)];
+        if (arj == 0.0) continue;
+        d_[static_cast<std::size_t>(j)] -= theta * arj;
+        const double ref = (arj / piv) * (arj / piv) * wq;
+        if (ref > devex_[static_cast<std::size_t>(j)]) {
+          devex_[static_cast<std::size_t>(j)] = ref;
+          if (ref > 1e8) blown = true;
+        }
+      }
+      d_[static_cast<std::size_t>(p)] = -theta;
+      d_[static_cast<std::size_t>(q)] = 0.0;
+      devex_[static_cast<std::size_t>(p)] = std::max(wq / (piv * piv), 1.0);
+      if (devex_[static_cast<std::size_t>(p)] > 1e8) blown = true;
+      if (blown) resetDevex();
+    }
+  }
+}
+
+std::vector<double> RevisedSimplex::extractValues() const {
+  std::vector<double> values(static_cast<std::size_t>(n_));
+  for (int j = 0; j < n_; ++j)
+    values[static_cast<std::size_t>(j)] = x_[static_cast<std::size_t>(j)];
+  return values;
+}
+
+void RevisedSimplex::collectReducedCostFixes(double gap,
+                                             double integrality_tol,
+                                             std::vector<Fix>* out) const {
+  if (!ready_ || !std::isfinite(gap)) return;
+  for (int j = 0; j < n_; ++j) {
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0) continue;
+    if (model_.var(j).type == VarType::Continuous) continue;
+    if (fixedCol(j)) continue;
+    // Nonbasic at a bound: moving the variable by one integer step costs at
+    // least |reduced cost|, so a margin above the incumbent gap proves no
+    // improving solution moves it.
+    double margin = 0.0;
+    switch (vstat_[static_cast<std::size_t>(j)]) {
+      case VStat::Lower:
+        margin = d_[static_cast<std::size_t>(j)];
+        break;
+      case VStat::Upper:
+        margin = -d_[static_cast<std::size_t>(j)];
+        break;
+      default:
+        continue;
+    }
+    if (margin <= gap + 1e-6) continue;
+    const double value = x_[static_cast<std::size_t>(j)];
+    // Only fix to (near-)integral bounds — an unattainable fractional bound
+    // would invalidate the one-integer-step cost argument.
+    if (std::abs(value - std::round(value)) > integrality_tol) continue;
+    out->push_back(Fix{j, std::round(value)});
+  }
+}
+
+}  // namespace pdw::ilp

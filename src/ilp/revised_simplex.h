@@ -1,0 +1,157 @@
+// Sparse revised simplex over a factorized basis (the "revised" LpBackend).
+//
+// Where the dense SimplexEngine (dual_simplex.h) carries an explicit
+// (rows+2) x width tableau and pays O(rows x width) per pivot, this engine
+// keeps only the basis factorized (basis_lu.h) and reconstructs what a
+// pivot needs on demand — one FTRAN for the entering column, one BTRAN for
+// the pivot row — so per-iteration cost tracks the *nonzeros* of the model,
+// not its dimensions. Structural differences from the dense engine:
+//
+//  * Native bounded-variable columns. Every model variable is exactly one
+//    column with its node bounds attached; a nonbasic column sits AtLower /
+//    AtUpper / at-value (free). No free-variable splits, no complement
+//    flips, no artificial columns reserved per row.
+//  * Artificial-free cold start. The all-slack basis is always factorizable
+//    and dual-feasible for the zero objective, so Phase 1 runs the *dual*
+//    simplex with zero costs from it (every basis is trivially
+//    dual-feasible; pivots drive out primal bound violations). Phase 2 is a
+//    primal simplex with devex pricing from the feasible basis. Models
+//    whose slack start is already feasible — b >= 0, the common case for
+//    the PDW scheduling rows — skip Phase 1 entirely.
+//  * Periodic refactorization. Product-form eta updates accumulate per
+//    pivot; the basis is refactorized on a fixed update cadence (or early
+//    on eta fill / tiny pivots), and each refactorization recomputes the
+//    basic values and reduced costs from scratch, re-anchoring float drift.
+//
+// The warm-start contract is the SimplexEngine one, verbatim (DESIGN.md
+// §11/§12): bound deltas are validated before any mutation, aggregated into
+// a single FTRAN against the current basis, repaired to dual feasibility by
+// bound flips where possible, then re-optimized with the dual simplex; every
+// guard falls back to a cold solve deterministically, and every Nth
+// would-be-warm solve runs cold to bound drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ilp/basis_lu.h"
+#include "ilp/lp_backend.h"
+#include "ilp/model.h"
+#include "ilp/standard_form.h"
+#include "ilp/types.h"
+
+namespace pdw::ilp {
+
+class RevisedSimplex final : public LpBackend {
+ public:
+  /// `model` and `params` must outlive the engine.
+  RevisedSimplex(const Model& model, const SolveParams& params);
+
+  LpResult solve(const std::vector<double>& lower,
+                 const std::vector<double>& upper, bool allow_warm,
+                 bool* used_warm = nullptr,
+                 std::int64_t* dual_pivots = nullptr) override;
+  LpResult coldSolve(const std::vector<double>& lower,
+                     const std::vector<double>& upper) override;
+  bool warmReady() const override { return ready_; }
+  void collectReducedCostFixes(double gap, double integrality_tol,
+                               std::vector<Fix>* out) const override;
+  const char* name() const override { return "revised"; }
+
+ private:
+  static constexpr double kEps = 1e-9;
+  /// Forced cold refresh cadence, mirrored from SimplexEngine.
+  static constexpr std::int64_t kColdRefreshInterval = 256;
+  /// Refactorization cadence in product-form updates. Dense-mode bases get
+  /// a longer leash: their O(m^3) factorization dwarfs the O(m) extra eta
+  /// cost per solve, and dense partial pivoting drifts less than sparse
+  /// Markowitz elimination.
+  static constexpr int kRefactorSparse = 64;
+  static constexpr int kRefactorDense = 256;
+
+  /// Where a column currently sits. A `Free` nonbasic column rests at its
+  /// stored value (0 after a cold load) rather than at a bound.
+  enum class VStat : std::uint8_t { Basic, Lower, Upper, Free };
+  enum class DualStatus { Optimal, Infeasible, Stalled };
+
+  std::int64_t blandThreshold() const;
+  std::int64_t perRunCap() const;
+  double cost(int col) const {
+    return col < n_ ? cost_[static_cast<std::size_t>(col)] : 0.0;
+  }
+  bool fixedCol(int col) const {
+    return ub_[static_cast<std::size_t>(col)] -
+               lb_[static_cast<std::size_t>(col)] <
+           kEps;
+  }
+
+  /// Sparse entries of column `col` (structural via CSC, slack = unit).
+  void columnEntries(int col, BasisLu::SparseColumn* out) const;
+  /// alpha = B^{-1} A_col, dense by basis position.
+  void ftranColumn(int col, std::vector<double>* alpha) const;
+  /// row = (e_pos^T B^{-1}) A over all *nonbasic* columns (dense by column;
+  /// basic slots left stale — callers must only read nonbasic entries).
+  void pivotRow(int pos, std::vector<double>* rho,
+                std::vector<double>* row) const;
+
+  /// Refactorize the current basis and recompute x_B and reduced costs from
+  /// scratch. Returns false when the basis is numerically singular.
+  bool refactor();
+  void computeBasicValues();
+  void computeDuals();
+  void resetDevex();
+
+  void loadCold(const std::vector<double>& lower,
+                const std::vector<double>& upper);
+  LpResult runCold(const std::vector<double>& lower,
+                   const std::vector<double>& upper);
+  std::optional<LpResult> warmSolve(const std::vector<double>& lower,
+                                    const std::vector<double>& upper);
+
+  bool hasPrimalViolation() const;
+  LpStatus primalIterate();
+  /// Dual simplex to primal feasibility. `zero_cost` is the Phase-1 mode:
+  /// reduced costs are treated as identically zero (every basis is
+  /// dual-feasible), so pivots only chase bound violations.
+  DualStatus dualIterate(bool zero_cost, std::int64_t cap);
+
+  std::vector<double> extractValues() const;
+
+  const Model& model_;
+  const SolveParams& params_;
+  StandardForm::Csc csc_;
+
+  int n_ = 0;      ///< structural columns (model variables)
+  int m_ = 0;      ///< rows (== slack columns); slack of row i is column n_+i
+  int total_ = 0;  ///< n_ + m_
+
+  std::vector<double> cost_;  ///< structural objective (merged duplicates)
+  std::vector<double> rhs_;
+  std::vector<double> slack_lb_, slack_ub_;  ///< per-row, from the sense
+
+  // ---- per-load state ----------------------------------------------------
+  std::vector<double> lb_, ub_;  ///< per column
+  std::vector<VStat> vstat_;
+  std::vector<double> x_;  ///< per column value (exact bounds when nonbasic)
+  std::vector<double> d_;  ///< reduced costs (0 on basic columns)
+  std::vector<int> basis_;   ///< position -> column
+  std::vector<int> pos_of_;  ///< column -> position, -1 when nonbasic
+  std::vector<double> devex_;
+  /// Model-space bounds of the last load; warm solves diff against these.
+  std::vector<double> cur_lower_, cur_upper_;
+
+  BasisLu lu_;
+
+  bool ready_ = false;
+  std::int64_t call_iterations_ = 0;
+  std::int64_t call_dual_pivots_ = 0;
+  std::int64_t call_factorizations_ = 0;
+  std::int64_t warm_since_cold_ = 0;
+
+  // scratch
+  mutable std::vector<double> alpha_, rho_, row_;
+  mutable BasisLu::SparseColumn col_scratch_;
+};
+
+}  // namespace pdw::ilp

@@ -1,14 +1,15 @@
 #include "ilp/simplex.h"
 
-#include "ilp/dual_simplex.h"
+#include "ilp/lp_backend.h"
 #include "obs/metrics.h"
 
 namespace pdw::ilp {
 
-// Standalone entry point: one cold two-phase primal solve. Branch-and-bound
-// does not go through here — it owns a persistent SimplexEngine per lane so
-// node LPs can warm-start (see dual_simplex.h); this wrapper serves pure-LP
-// models and tests, where there is no prior basis to reuse.
+// Standalone entry point: one cold solve on the backend selected by
+// `params.engine`. Branch-and-bound does not go through here — it owns a
+// persistent LpBackend per lane so node LPs can warm-start (see
+// lp_backend.h); this wrapper serves pure-LP models and tests, where there
+// is no prior basis to reuse.
 LpResult solveLp(const Model& model, const SolveParams& params,
                  const std::vector<double>* lower_override,
                  const std::vector<double>* upper_override) {
@@ -24,15 +25,18 @@ LpResult solveLp(const Model& model, const SolveParams& params,
                         ? (*upper_override)[static_cast<std::size_t>(j)]
                         : model.var(j).upper);
   }
-  SimplexEngine engine(model, params);
-  LpResult result = engine.coldSolve(lower, upper);
-  // Batched per call, not per pivot: two relaxed adds per LP.
+  std::unique_ptr<LpBackend> engine = makeLpBackend(params.engine, model, params);
+  LpResult result = engine->coldSolve(lower, upper);
+  // Batched per call, not per pivot: three relaxed adds per LP.
   static obs::Counter& calls =
       obs::Registry::instance().counter("ilp.simplex.calls");
   static obs::Counter& iterations =
       obs::Registry::instance().counter("ilp.simplex.iterations");
+  static obs::Counter& refactorizations =
+      obs::Registry::instance().counter("ilp.simplex.refactorizations");
   calls.increment();
   iterations.add(result.iterations);
+  refactorizations.add(result.factorizations);
   return result;
 }
 

@@ -1,20 +1,11 @@
-// Two-phase primal simplex for linear programs with variable bounds.
+// Standalone LP solve entry point.
 //
-// This is the LP engine under the branch-and-bound MILP solver (the
-// reproduction's substitute for Gurobi, see DESIGN.md §2). Design choices:
-//
-//  * Full dense tableau. PDW models are small (hundreds of rows/columns);
-//    a dense tableau keeps the implementation auditable and cache-friendly.
-//  * Upper bounds are handled implicitly with the classic "complement"
-//    transformation (a nonbasic variable at its upper bound is replaced by
-//    its complement so every nonbasic variable sits at zero), so bounds do
-//    not inflate the row count — essential because branch-and-bound tightens
-//    bounds at every node.
-//  * Phase 1 minimizes the sum of artificial variables; basic artificials
-//    are driven out (or pinned to zero on redundant rows) before phase 2.
-//  * Dantzig pricing with a largest-pivot tie-break, falling back to Bland's
-//    rule after an iteration threshold to guarantee termination under
-//    degeneracy.
+// This is the pure-LP front door of the solver stack (the reproduction's
+// substitute for Gurobi, see DESIGN.md §2). It routes one cold solve
+// through the engine-agnostic LpBackend seam (lp_backend.h, DESIGN.md §12),
+// so the same backends — the sparse revised simplex and the dense-tableau
+// oracle — serve pure LPs, node LPs and the lazy-cut callback alike, and no
+// solve bypasses the obs instrumentation.
 #pragma once
 
 #include <cstdint>
@@ -25,29 +16,17 @@
 
 namespace pdw::ilp {
 
-enum class LpStatus {
-  Optimal,
-  Infeasible,
-  Unbounded,
-  IterLimit,
-};
-
-struct LpResult {
-  LpStatus status = LpStatus::IterLimit;
-  double objective = 0.0;
-  /// One value per model variable (integrality ignored).
-  std::vector<double> values;
-  std::int64_t iterations = 0;
-};
-
-/// Solve the LP relaxation of `model` (variable types are ignored).
+/// Solve the LP relaxation of `model` (variable types are ignored), through
+/// the LpBackend selected by `params.engine` (lp_backend.h). LpStatus and
+/// LpResult live in ilp/types.h, shared by every backend.
 ///
 /// If `lower_override` / `upper_override` are non-null they replace the
 /// model's variable bounds — this is how branch-and-bound explores nodes
 /// without copying the model.
 ///
-/// Preconditions: every variable either has a finite lower bound, or is
-/// fully free (-inf, +inf); fully-free variables are split internally.
+/// Preconditions (dense backend only): every variable either has a finite
+/// lower bound, or is fully free (-inf, +inf); fully-free variables are
+/// split internally. The revised backend handles bounds natively.
 LpResult solveLp(const Model& model, const SolveParams& params,
                  const std::vector<double>* lower_override = nullptr,
                  const std::vector<double>* upper_override = nullptr);

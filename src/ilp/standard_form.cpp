@@ -1,9 +1,67 @@
 #include "ilp/standard_form.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace pdw::ilp {
+
+StandardForm::Csc StandardForm::buildStructuralCsc(const Model& model) {
+  Csc csc;
+  csc.num_rows = model.numConstraints();
+  csc.num_cols = model.numVars();
+  // Count pass (duplicates counted, merged during the sort below).
+  std::vector<int> counts(static_cast<std::size_t>(csc.num_cols) + 1, 0);
+  for (int i = 0; i < csc.num_rows; ++i)
+    for (const auto& [var, coeff] : model.constraint(i).expr.terms())
+      ++counts[static_cast<std::size_t>(var) + 1];
+  csc.col_start.assign(static_cast<std::size_t>(csc.num_cols) + 1, 0);
+  for (int j = 0; j < csc.num_cols; ++j)
+    csc.col_start[static_cast<std::size_t>(j) + 1] =
+        csc.col_start[static_cast<std::size_t>(j)] +
+        counts[static_cast<std::size_t>(j) + 1];
+  const std::size_t raw_nnz =
+      static_cast<std::size_t>(csc.col_start[static_cast<std::size_t>(csc.num_cols)]);
+  csc.row_index.resize(raw_nnz);
+  csc.value.resize(raw_nnz);
+  std::vector<int> cursor(csc.col_start.begin(), csc.col_start.end() - 1);
+  for (int i = 0; i < csc.num_rows; ++i) {
+    for (const auto& [var, coeff] : model.constraint(i).expr.terms()) {
+      const int slot = cursor[static_cast<std::size_t>(var)]++;
+      csc.row_index[static_cast<std::size_t>(slot)] = i;
+      csc.value[static_cast<std::size_t>(slot)] = coeff;
+    }
+  }
+  // Rows land in ascending order per column already (outer loop over rows),
+  // so merging duplicates is a linear compaction.
+  std::size_t out = 0;
+  std::vector<int> merged_start(static_cast<std::size_t>(csc.num_cols) + 1, 0);
+  for (int j = 0; j < csc.num_cols; ++j) {
+    merged_start[static_cast<std::size_t>(j)] = static_cast<int>(out);
+    std::size_t k = static_cast<std::size_t>(csc.col_start[static_cast<std::size_t>(j)]);
+    const std::size_t end =
+        static_cast<std::size_t>(csc.col_start[static_cast<std::size_t>(j) + 1]);
+    while (k < end) {
+      const int row = csc.row_index[k];
+      double v = csc.value[k];
+      ++k;
+      while (k < end && csc.row_index[k] == row) {
+        v += csc.value[k];
+        ++k;
+      }
+      if (v != 0.0) {
+        csc.row_index[out] = row;
+        csc.value[out] = v;
+        ++out;
+      }
+    }
+  }
+  merged_start[static_cast<std::size_t>(csc.num_cols)] = static_cast<int>(out);
+  csc.row_index.resize(out);
+  csc.value.resize(out);
+  csc.col_start = std::move(merged_start);
+  return csc;
+}
 
 StandardForm StandardForm::build(const Model& model) {
   StandardForm form;
@@ -65,6 +123,7 @@ StandardForm StandardForm::build(const Model& model) {
 
   form.num_rows = m;
   form.num_cols = static_cast<int>(form.columns.size());
+  form.csc = buildStructuralCsc(model);
 
   form.objective.assign(static_cast<std::size_t>(form.num_cols), 0.0);
   for (const auto& [var, coeff] : model.objective().terms()) {

@@ -23,6 +23,7 @@
 //    the tableau geometry never changes between loads.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -62,7 +63,27 @@ struct StandardForm {
   /// Objective coefficients per column (zero on slack/artificial columns).
   std::vector<double> objective;
 
+  /// Compressed-sparse-column view of the structural constraint matrix over
+  /// *model* variables (no free splits, no slack/artificial columns —
+  /// engines that handle bounds natively, like the revised simplex, index it
+  /// directly by VarId). Duplicate (row, var) terms are merged.
+  struct Csc {
+    int num_rows = 0;
+    int num_cols = 0;
+    std::vector<int> col_start;  ///< size num_cols + 1
+    std::vector<int> row_index;  ///< size nnz, ascending within a column
+    std::vector<double> value;   ///< size nnz
+
+    std::int64_t nonzeros() const {
+      return static_cast<std::int64_t>(row_index.size());
+    }
+  };
+  Csc csc;
+
   static StandardForm build(const Model& model);
+  /// Build just the CSC view (cheaper than build() when the caller does not
+  /// need the dense-tableau column layout).
+  static Csc buildStructuralCsc(const Model& model);
 };
 
 }  // namespace pdw::ilp

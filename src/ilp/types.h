@@ -43,6 +43,25 @@ enum class SolveStatus {
 const char* toString(SolveStatus status);
 const char* toString(Sense sense);
 
+/// Outcome of one LP (relaxation) solve, shared by every LpBackend.
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::IterLimit;
+  double objective = 0.0;
+  /// One value per model variable (integrality ignored).
+  std::vector<double> values;
+  std::int64_t iterations = 0;
+  /// Basis (re)factorizations performed during this call (always 0 for the
+  /// dense tableau backend, which has no factorized basis).
+  std::int64_t factorizations = 0;
+};
+
 /// Search/solve statistics, filled by the solver.
 struct SolveStats {
   std::int64_t simplex_iterations = 0;
@@ -66,6 +85,9 @@ struct SolveStats {
   std::int64_t dual_pivots = 0;
   /// Integer variables fixed by reduced-cost bound tightening.
   std::int64_t rc_fixed = 0;
+  /// Sparse-basis (re)factorizations across all node LPs (revised backend
+  /// only; the dense tableau backend reports 0).
+  std::int64_t refactorizations = 0;
 };
 
 /// Result of solving a Model. `values` is indexed by VarId of the *original*
@@ -86,6 +108,11 @@ struct Solution {
 
 /// Knobs for the solver; defaults suit the PDW models.
 struct SolveParams {
+  /// LP engine for every node-LP / pure-LP solve, resolved through the
+  /// LpBackend registry (lp_backend.h). "" picks the registry default
+  /// ("revised", the sparse revised simplex); "dense" selects the dense
+  /// tableau engine kept as the cross-check oracle.
+  std::string engine;
   double time_limit_seconds = 10.0;
   std::int64_t node_limit = 200000;
   std::int64_t simplex_iteration_limit = 400000;

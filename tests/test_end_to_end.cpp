@@ -6,9 +6,11 @@
 //    (the dominance the paper's Table II shows on every row).
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "sim/metrics.h"
 #include "sim/validator.h"
 #include "synth/placer.h"
@@ -40,6 +42,12 @@ int remainingTargets(const assay::AssaySchedule& washed) {
   return static_cast<int>(analyzeWashNecessity(tracker).targets.size());
 }
 
+/// One PDW run through the Pipeline facade (the supported entry point).
+wash::WashPlanResult runPdw(const assay::AssaySchedule& base,
+                            core::PdwOptions options = {}) {
+  return std::move(Pipeline(std::move(options)).run(base).plan);
+}
+
 sim::ValidatorOptions looseTol() {
   sim::ValidatorOptions v;
   v.time_tol = 1e-4;  // ILP times carry big-M-scaled float noise
@@ -51,9 +59,8 @@ class EndToEndTest : public ::testing::TestWithParam<BenchmarkId> {};
 TEST_P(EndToEndTest, PdwScheduleIsValidAndClean) {
   EndToEnd e = makeBase(GetParam());
   core::PdwOptions options;
-  options.schedule_solver.time_limit_seconds = 6.0;
-  const wash::WashPlanResult pdw =
-      core::runPathDriverWash(e.synth.schedule, options);
+  options.solver.schedule.time_limit_seconds = 6.0;
+  const wash::WashPlanResult pdw = runPdw(e.synth.schedule, options);
 
   const sim::ValidationResult v =
       sim::validateSchedule(pdw.schedule, looseTol());
@@ -76,9 +83,8 @@ TEST_P(EndToEndTest, DawoScheduleIsValidAndClean) {
 TEST_P(EndToEndTest, PdwDominatesDawo) {
   EndToEnd e = makeBase(GetParam());
   core::PdwOptions options;
-  options.schedule_solver.time_limit_seconds = 6.0;
-  const wash::WashPlanResult pdw =
-      core::runPathDriverWash(e.synth.schedule, options);
+  options.solver.schedule.time_limit_seconds = 6.0;
+  const wash::WashPlanResult pdw = runPdw(e.synth.schedule, options);
   const wash::WashPlanResult dawo = baseline::runDawo(e.synth.schedule);
 
   const sim::WashMetrics mp = sim::computeMetrics(pdw.schedule,
@@ -102,7 +108,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(EndToEnd, PdwReportsNecessityStats) {
   EndToEnd e = makeBase(BenchmarkId::Pcr);
-  const wash::WashPlanResult pdw = core::runPathDriverWash(e.synth.schedule);
+  const wash::WashPlanResult pdw = runPdw(e.synth.schedule);
   EXPECT_GT(pdw.necessity.contaminated_cell_states, 0);
   EXPECT_GT(pdw.necessity.targets, 0);
   // Necessity analysis must drop something on PCR (the paper's own example
@@ -114,7 +120,7 @@ TEST(EndToEnd, PdwReportsNecessityStats) {
 
 TEST(EndToEnd, DawoSkipsFewerThanPdw) {
   EndToEnd e = makeBase(BenchmarkId::Ivd);
-  const wash::WashPlanResult pdw = core::runPathDriverWash(e.synth.schedule);
+  const wash::WashPlanResult pdw = runPdw(e.synth.schedule);
   const wash::WashPlanResult dawo = baseline::runDawo(e.synth.schedule);
   // DAWO has no Type-3 (waste-flow) analysis: it must emit at least as
   // many targets as PDW and never skip a Type-3 case.
@@ -130,7 +136,7 @@ TEST(EndToEnd, MotivatingExampleSmallDelay) {
   synth::SynthResult base =
       synth::synthesizeOnChip(*b.graph, assay::makeMotivatingChip());
 
-  const wash::WashPlanResult pdw = core::runPathDriverWash(base.schedule);
+  const wash::WashPlanResult pdw = runPdw(base.schedule);
   const wash::WashPlanResult dawo = baseline::runDawo(base.schedule);
   const sim::WashMetrics mp = sim::computeMetrics(pdw.schedule, base.schedule);
   const sim::WashMetrics md = sim::computeMetrics(dawo.schedule,
@@ -147,7 +153,7 @@ TEST(EndToEnd, NoContaminationMeansNoWash) {
   const auto r = g.fluids().addReagent("r");
   g.addOperation(assay::OpKind::Mix, 3, {r});
   synth::SynthResult base = synth::synthesize(g);
-  const wash::WashPlanResult pdw = core::runPathDriverWash(base.schedule);
+  const wash::WashPlanResult pdw = runPdw(base.schedule);
   EXPECT_EQ(pdw.schedule.washCount(), 0);
   EXPECT_TRUE(pdw.proven_optimal);
   EXPECT_DOUBLE_EQ(pdw.schedule.completionTime(),

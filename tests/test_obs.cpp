@@ -58,8 +58,8 @@ core::PdwOptions cheapOptions(int threads) {
   core::PdwOptions options = core::PdwOptions{}
                                  .withThreads(threads)
                                  .withoutIlpPaths()
-                                 .withSolverBudget(1e6, 200);
-  options.schedule_solver.simplex_iteration_limit = 1500;
+                                 .withScheduleBudget(1e6, 200);
+  options.solver.schedule.simplex_iteration_limit = 1500;
   return options;
 }
 

@@ -33,11 +33,11 @@ core::PdwOptions deterministicOptions(int threads) {
   core::PdwOptions options = core::PdwOptions{}
                                  .withThreads(threads)
                                  .withoutIlpPaths()
-                                 .withSolverBudget(1e6, 200);
+                                 .withScheduleBudget(1e6, 200);
   // Node caps alone bound the search poorly when individual LPs turn
   // degenerate; the solver's global simplex-iteration cap is the budget
   // that actually limits work, and it is just as deterministic.
-  options.schedule_solver.simplex_iteration_limit = 1500;
+  options.solver.schedule.simplex_iteration_limit = 1500;
   return options;
 }
 
@@ -94,10 +94,10 @@ TEST_P(IlpPathDeterminism, PlanIdenticalAt1And8Threads) {
   const auto options = [](int threads) {
     core::PdwOptions o = core::PdwOptions{}
                              .withThreads(threads)
-                             .withSolverBudget(1e6, 200)
-                             .withPathSolverBudget(1e6, 400);
-    o.schedule_solver.simplex_iteration_limit = 4000;
-    o.path.solver.simplex_iteration_limit = 10000;
+                             .withScheduleBudget(1e6, 200)
+                             .withPathBudget(1e6, 400);
+    o.solver.schedule.simplex_iteration_limit = 4000;
+    o.solver.path.simplex_iteration_limit = 10000;
     return o;
   };
   expectIdenticalPlans(base.schedule, options(1), options(8));

@@ -7,7 +7,7 @@
 
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
-#include "core/pathdriver_wash.h"
+#include "core/pipeline.h"
 #include "synth/placer.h"
 #include "synth/synthesizer.h"
 #include "wash/contamination.h"
@@ -88,7 +88,7 @@ TEST_P(PropertyTest, WashTasksAreWellFormedInBothMethods) {
   core::PdwOptions quick;
   quick.use_ilp_schedule = false;  // keep this property run fast
   quick.use_ilp_paths = false;
-  const auto pdw = core::runPathDriverWash(base_.schedule, quick);
+  const auto pdw = Pipeline(quick).run(base_.schedule).plan;
   const auto dawo = baseline::runDawo(base_.schedule);
   for (const auto* plan : {&pdw, &dawo}) {
     for (const assay::FluidTask& t : plan->schedule.tasks()) {
@@ -112,7 +112,7 @@ TEST_P(PropertyTest, GreedyPdwNeverSlowerThanDawo) {
   core::PdwOptions quick;
   quick.use_ilp_schedule = false;
   quick.use_ilp_paths = false;
-  const auto pdw = core::runPathDriverWash(base_.schedule, quick);
+  const auto pdw = Pipeline(quick).run(base_.schedule).plan;
   const auto dawo = baseline::runDawo(base_.schedule);
   EXPECT_LE(pdw.schedule.washCount(), dawo.schedule.washCount())
       << benchmark_.name;

@@ -1,7 +1,8 @@
 // obs_check — validates pdw_cli's observability exports (scripts/tier1.sh).
 //
 //   obs_check --trace t.json --metrics m.json [--expect-workers N]
-//   obs_check --bench b.json [--expect-warm-hits]
+//   obs_check --bench b.json [--expect-warm-hits] [--expect-engine NAME]
+//             [--baseline BENCH.json]
 //
 // Trace checks: parses as Chrome trace_event JSON (object form), every
 // event carries ph/ts/pid/tid, begin/end counts balance with proper nesting
@@ -12,7 +13,11 @@
 // document from `bench_ilp_solver --json-out` — schema tag, per-benchmark
 // records with non-negative solver readings, totals consistent with the
 // records, and (with --expect-warm-hits) a strictly positive warm-hit rate.
-// Exits non-zero with one line per failure.
+// --expect-engine requires the document's top-level `engine` label to match.
+// --baseline compares against a reference pdw-bench-1 document (rows matched
+// by name) and fails when the totals over the common rows regress: the
+// current run must be no slower in wall time and spend no more simplex
+// iterations than the baseline. Exits non-zero with one line per failure.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -154,7 +159,76 @@ void checkMetrics(const std::string& path) {
   }
 }
 
-void checkBench(const std::string& path, bool expect_warm_hits) {
+struct BenchRow {
+  double wall_seconds = 0.0;
+  double simplex_iterations = 0.0;
+};
+
+/// name -> (wall, iterations) for every named record in a pdw-bench-1 doc.
+std::map<std::string, BenchRow> benchRows(const Value& doc) {
+  std::map<std::string, BenchRow> rows;
+  const Value* benchmarks = doc.find("benchmarks");
+  if (!benchmarks || !benchmarks->isArray()) return rows;
+  for (const Value& b : benchmarks->array) {
+    const Value* name = b.find("name");
+    const Value* wall = b.find("wall_seconds");
+    const Value* iters = b.find("simplex_iterations");
+    if (!name || !name->isString() || !wall || !wall->isNumber() || !iters ||
+        !iters->isNumber())
+      continue;
+    rows[name->string] = {wall->number, iters->number};
+  }
+  return rows;
+}
+
+/// Regression gate against a reference run: rows are matched by name and the
+/// totals over the common rows must not regress in either wall time or
+/// simplex iterations. Per-row ratios are printed for the log regardless.
+void checkBenchBaseline(const Value& doc, const std::string& baseline_path) {
+  const std::string text = slurp(baseline_path);
+  if (text.empty())
+    return fail("baseline file empty or unreadable: " + baseline_path);
+  const auto base_doc = pdw::obs::json::parse(text);
+  if (!base_doc || !base_doc->isObject())
+    return fail("baseline is not a JSON object");
+  const Value* schema = base_doc->find("schema");
+  if (!schema || !schema->isString() || schema->string != "pdw-bench-1")
+    return fail("baseline schema tag is not 'pdw-bench-1'");
+
+  const std::map<std::string, BenchRow> current = benchRows(doc);
+  const std::map<std::string, BenchRow> baseline = benchRows(*base_doc);
+  BenchRow cur_total, base_total;
+  int common = 0;
+  for (const auto& [name, cur] : current) {
+    const auto it = baseline.find(name);
+    if (it == baseline.end()) continue;
+    ++common;
+    cur_total.wall_seconds += cur.wall_seconds;
+    cur_total.simplex_iterations += cur.simplex_iterations;
+    base_total.wall_seconds += it->second.wall_seconds;
+    base_total.simplex_iterations += it->second.simplex_iterations;
+    std::fprintf(stderr,
+                 "obs_check: baseline %-24s wall %8.3fs -> %8.3fs  "
+                 "iters %10.0f -> %10.0f\n",
+                 name.c_str(), it->second.wall_seconds, cur.wall_seconds,
+                 it->second.simplex_iterations, cur.simplex_iterations);
+  }
+  if (common == 0)
+    return fail("baseline shares no benchmark names with the current run");
+  if (cur_total.wall_seconds > base_total.wall_seconds)
+    fail("wall time regressed vs baseline over " + std::to_string(common) +
+         " common rows (" + std::to_string(cur_total.wall_seconds) + "s > " +
+         std::to_string(base_total.wall_seconds) + "s)");
+  if (cur_total.simplex_iterations > base_total.simplex_iterations)
+    fail("simplex iterations regressed vs baseline over " +
+         std::to_string(common) + " common rows (" +
+         std::to_string(cur_total.simplex_iterations) + " > " +
+         std::to_string(base_total.simplex_iterations) + ")");
+}
+
+void checkBench(const std::string& path, bool expect_warm_hits,
+                const std::string& expect_engine,
+                const std::string& baseline_path) {
   const std::string text = slurp(path);
   if (text.empty()) return fail("bench file empty or unreadable: " + path);
   const auto doc = pdw::obs::json::parse(text);
@@ -162,6 +236,15 @@ void checkBench(const std::string& path, bool expect_warm_hits) {
   const Value* schema = doc->find("schema");
   if (!schema || !schema->isString() || schema->string != "pdw-bench-1")
     fail("bench schema tag is not 'pdw-bench-1'");
+  if (!expect_engine.empty()) {
+    const Value* engine = doc->find("engine");
+    if (!engine || !engine->isString())
+      fail("bench has no string 'engine' label (expected '" + expect_engine +
+           "')");
+    else if (engine->string != expect_engine)
+      fail("bench engine is '" + engine->string + "', expected '" +
+           expect_engine + "'");
+  }
   const Value* benchmarks = doc->find("benchmarks");
   if (!benchmarks || !benchmarks->isArray() || benchmarks->array.empty())
     return fail("bench has no non-empty 'benchmarks' array");
@@ -209,12 +292,14 @@ void checkBench(const std::string& path, bool expect_warm_hits) {
     if (!hits || !hits->isNumber() || hits->number <= 0)
       fail("expected totals.warm_hits > 0 (warm dual path never taken)");
   }
+  if (!baseline_path.empty()) checkBenchBaseline(*doc, baseline_path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path, metrics_path, bench_path;
+  std::string expect_engine, baseline_path;
   bool expect_warm_hits = false;
   int expect_workers = 0;
   for (int i = 1; i < argc; ++i) {
@@ -236,11 +321,18 @@ int main(int argc, char** argv) {
       if (v) bench_path = v;
     } else if (arg == "--expect-warm-hits") {
       expect_warm_hits = true;
+    } else if (arg == "--expect-engine") {
+      const char* v = next();
+      if (v) expect_engine = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v) baseline_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: obs_check [--trace FILE] [--metrics FILE] "
                    "[--expect-workers N] [--bench FILE] "
-                   "[--expect-warm-hits]\n");
+                   "[--expect-warm-hits] [--expect-engine NAME] "
+                   "[--baseline BENCH.json]\n");
       return 2;
     }
   }
@@ -250,7 +342,8 @@ int main(int argc, char** argv) {
   }
   if (!trace_path.empty()) checkTrace(trace_path, expect_workers);
   if (!metrics_path.empty()) checkMetrics(metrics_path);
-  if (!bench_path.empty()) checkBench(bench_path, expect_warm_hits);
+  if (!bench_path.empty())
+    checkBench(bench_path, expect_warm_hits, expect_engine, baseline_path);
   if (failures == 0) {
     std::fprintf(stderr, "obs_check: OK\n");
     return 0;
