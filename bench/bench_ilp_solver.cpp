@@ -13,6 +13,11 @@
 //    perf baseline this series is measured against.
 //
 //      bench_ilp_solver --json-out=out.json [--quick] [--label=NAME]
+//
+// Both modes additionally accept the shared observability flags
+// (bench_common.h): --run-store=FILE appends a `pdw-run-1` record for
+// tools/pdw_report, --trace-out / --metrics-out export the trace and the
+// metrics registry, --flight-out dumps every solve's flight recording.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -41,11 +46,16 @@ using namespace pdw;
 /// within one engine.
 std::string g_engine;  // NOLINT(runtime/string)
 
+/// Flight-recorder config applied to every measured solve (disabled unless
+/// --flight-out was given).
+obs::FlightConfig g_flight;
+
 ilp::SolveParams benchParams() {
   ilp::SolveParams p;
   p.engine = g_engine;
   p.time_limit_seconds = 5.0;  // best-effort cap per solve
   p.log_progress = false;
+  p.flight = g_flight;
   return p;
 }
 
@@ -204,6 +214,8 @@ BenchRecord runPipelineBenchmark(assay::BenchmarkId id) {
       synth::synthesizeOnChip(*b.graph, synth::placeChip(b.library));
   core::PdwOptions options = bench::defaultBenchOptions();
   options.withEngine(g_engine);
+  options.solver.schedule.flight = g_flight;
+  options.solver.path.flight = g_flight;
   options.num_threads = 1;  // sequential: canonical-lane solver numbers only
   Pipeline pipeline(options);
   const PdwResult result = pipeline.run(base.schedule);
@@ -237,8 +249,9 @@ void appendRecord(std::ostringstream& out, const BenchRecord& r, bool first) {
       << ", \"warm_hit_rate\": " << r.warmHitRate() << "}";
 }
 
-int runJsonMode(const std::string& path, const std::string& label,
+int runJsonMode(const std::string& path, const bench::ObsArgs& obs_args,
                 bool quick) {
+  const std::string& label = obs_args.label;
   std::vector<BenchRecord> records;
 
   const std::vector<std::pair<std::string, ilp::Model>> synthetic = [&] {
@@ -284,9 +297,38 @@ int runJsonMode(const std::string& path, const std::string& label,
     totals.rc_fixed += r.rc_fixed;
   }
 
-  std::ostringstream out;
   const std::string engine =
       g_engine.empty() ? ilp::defaultLpBackendName() : g_engine;
+
+  // --run-store: append one pdw-run-1 record carrying the same rows (plus
+  // the environment stamps and the registry snapshot) to the durable store.
+  if (!obs_args.run_store.empty()) {
+    obs::RunRecord record = bench::makeRunRecord(obs_args, "bench_ilp_solver");
+    record.engine = engine;
+    record.config = ilp::fingerprint(benchParams());
+    record.quick = quick;
+    for (const BenchRecord& r : records) {
+      obs::RunRow row;
+      row.name = r.name;
+      row.family = r.family;
+      row.values = {
+          {"wall_seconds", r.wall_seconds},
+          {"mip_solves", static_cast<double>(r.mip_solves)},
+          {"nodes", static_cast<double>(r.nodes)},
+          {"simplex_iterations", static_cast<double>(r.simplex_iterations)},
+          {"warm_hits", static_cast<double>(r.warm_hits)},
+          {"warm_misses", static_cast<double>(r.warm_misses)},
+          {"dual_pivots", static_cast<double>(r.dual_pivots)},
+          {"rc_fixed", static_cast<double>(r.rc_fixed)},
+          {"warm_hit_rate", r.warmHitRate()},
+      };
+      record.rows.push_back(std::move(row));
+    }
+    if (!bench::appendRunRecord(obs_args, record)) return 1;
+  }
+  if (path.empty()) return 0;
+
+  std::ostringstream out;
   out << "{\n  \"schema\": \"pdw-bench-1\",\n  \"label\": "
       << obs::json::quote(label) << ",\n  \"engine\": "
       << obs::json::quote(engine) << ",\n  \"quick\": "
@@ -321,17 +363,17 @@ int runJsonMode(const std::string& path, const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_out, label = "default";
+  std::string json_out;
   bool quick = false;
+  bench::ObsArgs obs_args;
   std::vector<char*> bench_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (obs_args.consume(argc, argv, i)) continue;
     if (arg.rfind("--json-out=", 0) == 0) {
       json_out = arg.substr(std::strlen("--json-out="));
     } else if (arg == "--json-out" && i + 1 < argc) {
       json_out = argv[++i];
-    } else if (arg.rfind("--label=", 0) == 0) {
-      label = arg.substr(std::strlen("--label="));
     } else if (arg.rfind("--engine=", 0) == 0) {
       g_engine = arg.substr(std::strlen("--engine="));
     } else if (arg == "--engine" && i + 1 < argc) {
@@ -342,12 +384,19 @@ int main(int argc, char** argv) {
       bench_args.push_back(argv[i]);
     }
   }
-  if (!json_out.empty()) return runJsonMode(json_out, label, quick);
+  g_flight = obs_args.flightConfig();
+  obs_args.applyStartup();
+  if (!json_out.empty() || !obs_args.run_store.empty()) {
+    const int rc = runJsonMode(json_out, obs_args, quick);
+    obs_args.finish();
+    return rc;
+  }
 
   int bench_argc = static_cast<int>(bench_args.size());
   benchmark::Initialize(&bench_argc, bench_args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
+  obs_args.finish();
   return 0;
 }

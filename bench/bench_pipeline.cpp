@@ -1,14 +1,24 @@
 // Substrate bench: wall-clock cost of each PDW pipeline stage
 // (google-benchmark): synthesis, contamination analysis, wash-path routing
 // (ILP vs BFS) and the full PDW / DAWO runs on a mid-size benchmark.
+//
+// Also accepts the shared observability flags (bench_common.h). With
+// --run-store=FILE the google-benchmark suite is skipped; instead one
+// sequential Pipeline run on the IVD benchmark appends a `pdw-run-1`
+// record whose rows are the per-stage timings and the solver counter
+// deltas of that run.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
+#include "bench_common.h"
 #include "core/pipeline.h"
 #include "core/wash_path_ilp.h"
+#include "ilp/lp_backend.h"
+#include "obs/metric_names.h"
 #include "synth/placer.h"
 #include "synth/synthesizer.h"
 #include "wash/contamination.h"
@@ -119,7 +129,7 @@ void BM_FullPdwWarmCache(benchmark::State& state) {
     PdwResult r = pipeline.run(ivdBase().schedule);
     benchmark::DoNotOptimize(r.schedule().completionTime());
     accumulate(totals, r.timings);
-    cache_hits += r.metrics.counter("pdw.route_cache.hits");
+    cache_hits += r.metrics.counter(obs::names::kRouteCacheHits);
   }
   reportStageTimings(state, totals);
   state.counters["cache_hits"] = benchmark::Counter(
@@ -135,6 +145,82 @@ void BM_FullDawo(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDawo)->Unit(benchmark::kMillisecond);
 
+/// --run-store mode: one sequential end-to-end Pipeline run on IVD, rows =
+/// per-stage timings plus the run's solver counter deltas.
+int runStoreMode(const bench::ObsArgs& obs_args) {
+  obs::Registry& reg = obs::Registry::instance();
+  const obs::MetricsSnapshot before = reg.snapshot();
+
+  core::PdwOptions options = core::PdwOptions{}.withThreads(1);
+  options.solver.schedule.flight = obs_args.flightConfig();
+  options.solver.path.flight = options.solver.schedule.flight;
+
+  const auto start = std::chrono::steady_clock::now();
+  Pipeline pipeline(options);
+  const PdwResult result = pipeline.run(ivdBase().schedule);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const obs::MetricsSnapshot delta = reg.snapshot().since(before);
+
+  obs::RunRecord record = bench::makeRunRecord(obs_args, "bench_pipeline");
+  record.engine = ilp::defaultLpBackendName();
+  record.config = options.solver.fingerprint();
+
+  obs::RunRow stages;
+  stages.name = "pipeline_ivd_stages";
+  stages.family = "pipeline";
+  stages.values = {
+      {"wall_seconds", wall},
+      {"analysis_seconds", result.timings.analysis_s},
+      {"clustering_seconds", result.timings.clustering_s},
+      {"routing_seconds", result.timings.routing_s},
+      {"scheduling_seconds", result.timings.scheduling_s},
+  };
+  record.rows.push_back(std::move(stages));
+
+  obs::RunRow solver;
+  solver.name = "pipeline_ivd_solver";
+  solver.family = "pipeline";
+  solver.values = {
+      {"mip_solves",
+       static_cast<double>(delta.counter(obs::names::kBbSolves))},
+      {"nodes", static_cast<double>(delta.counter(obs::names::kBbNodes))},
+      {"simplex_iterations",
+       static_cast<double>(delta.counter(obs::names::kSimplexIterations))},
+      {"warm_hits",
+       static_cast<double>(delta.counter(obs::names::kSimplexWarmHits))},
+      {"warm_misses",
+       static_cast<double>(delta.counter(obs::names::kSimplexWarmMisses))},
+      {"rc_fixed",
+       static_cast<double>(delta.counter(obs::names::kBbRcFixed))},
+  };
+  record.rows.push_back(std::move(solver));
+
+  return bench::appendRunRecord(obs_args, record) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::ObsArgs obs_args;
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (!obs_args.consume(argc, argv, i)) bench_args.push_back(argv[i]);
+  }
+  obs_args.applyStartup();
+
+  int rc = 0;
+  if (!obs_args.run_store.empty()) {
+    rc = runStoreMode(obs_args);
+  } else {
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data()))
+      return 1;
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  obs_args.finish();
+  return rc;
+}

@@ -6,19 +6,37 @@
 // PathDriver+ schedules on the authors' testbed); the comparison shape —
 // PDW dominating or tying DAWO on every metric of every row — is the
 // reproduction target (see EXPERIMENTS.md).
+// Accepts the shared observability flags (bench_common.h): --run-store=FILE
+// appends one `pdw-run-1` record with the PDW columns of every row,
+// --trace-out / --metrics-out export the trace and the metrics registry,
+// --flight-out dumps the solver lanes' flight recordings.
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
+#include "ilp/lp_backend.h"
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pdw;
   using util::fixed;
   using util::improvementPercent;
 
-  std::vector<bench::BenchmarkRun> runs = bench::runAll();
+  bench::ObsArgs obs_args;
+  for (int i = 1; i < argc; ++i) {
+    if (!obs_args.consume(argc, argv, i)) {
+      std::fprintf(stderr, "bench_table2: unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  obs_args.applyStartup();
+
+  core::PdwOptions options = bench::defaultBenchOptions();
+  options.solver.schedule.flight = obs_args.flightConfig();
+  options.solver.path.flight = options.solver.schedule.flight;
+
+  std::vector<bench::BenchmarkRun> runs = bench::runAll(options);
 
   util::Table table({"Benchmark", "|O|/|D|/|E|", "Nw DAWO", "Nw PDW",
                      "Nw Im%", "Lw DAWO", "Lw PDW", "Lw Im%", "Td DAWO",
@@ -61,5 +79,27 @@ int main() {
                "24.56%, T_delay 33.10%, T_assay 9.28%\n";
   std::cout << "All schedules validator-clean: " << (all_valid ? "yes" : "NO")
             << "\n";
+
+  if (!obs_args.run_store.empty()) {
+    obs::RunRecord record = bench::makeRunRecord(obs_args, "bench_table2");
+    record.engine = options.solver.engine.empty()
+                        ? ilp::defaultLpBackendName()
+                        : options.solver.engine;
+    record.config = options.solver.fingerprint();
+    for (const bench::BenchmarkRun& run : runs) {
+      obs::RunRow row;
+      row.name = run.name;
+      row.family = "table2";
+      row.values = {
+          {"n_wash", static_cast<double>(run.pdw.n_wash)},
+          {"l_wash_mm", run.pdw.l_wash_mm},
+          {"t_delay_s", run.pdw.t_delay},
+          {"t_assay_s", run.pdw.t_assay},
+      };
+      record.rows.push_back(std::move(row));
+    }
+    if (!bench::appendRunRecord(obs_args, record)) return 1;
+  }
+  obs_args.finish();
   return all_valid ? 0 : 1;
 }

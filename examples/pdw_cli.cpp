@@ -16,6 +16,7 @@
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
 #include "core/pipeline.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/gantt.h"
@@ -39,6 +40,8 @@ struct CliOptions {
   bool csv = false;
   std::string trace_out;    ///< Chrome trace JSON path (enables tracing)
   std::string metrics_out;  ///< metrics registry JSON path
+  std::string flight_out;   ///< flight-recorder JSONL path (dump all solves)
+  double flight_slow = 0;   ///< >0: dump only solves slower than this (s)
   core::PdwOptions pdw;
 };
 
@@ -64,6 +67,12 @@ void printUsage() {
       "  --trace-out=FILE   write a Chrome trace (chrome://tracing,\n"
       "                     ui.perfetto.dev) of the run; enables tracing\n"
       "  --metrics-out=FILE write the metrics registry as JSON\n"
+      "  --flight-out=FILE  dump every ILP solve's flight recording (JSONL,\n"
+      "                     pdw-flight-1); with --threads 1 the stream\n"
+      "                     reconciles against the registry counters via\n"
+      "                     obs_check --flight FILE --metrics M.json\n"
+      "  --flight-slow=S    with --flight-out: record always but dump only\n"
+      "                     solves slower than S seconds (or on budget)\n"
       "  --log-level LEVEL  trace|debug|info|warn|error|off (also via the\n"
       "                     PDW_LOG_LEVEL environment variable)\n"
       "  --log LEVEL        alias for --log-level\n";
@@ -163,6 +172,14 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       const auto value = value_of(i);
       if (!value) return std::nullopt;
       options.metrics_out = *value;
+    } else if (arg == "--flight-out") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      options.flight_out = *value;
+    } else if (arg == "--flight-slow") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      options.flight_slow = std::atof(value->c_str());
     } else if (arg == "--log" || arg == "--log-level") {
       const auto value = value_of(i);
       if (!value) return std::nullopt;
@@ -177,6 +194,19 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
   }
   if (options.benchmarks.empty())
     options.benchmarks.push_back(assay::BenchmarkId::Pcr);
+  if (!options.flight_out.empty()) {
+    obs::FlightConfig flight;
+    flight.path = options.flight_out;
+    if (options.flight_slow > 0) {
+      flight.slow_solve_seconds = options.flight_slow;
+    } else {
+      flight.dump_all = true;
+    }
+    options.pdw.withFlightRecording(flight);
+  } else if (options.flight_slow > 0) {
+    std::cerr << "--flight-slow needs --flight-out\n";
+    return std::nullopt;
+  }
   return options;
 }
 
@@ -242,6 +272,11 @@ int main(int argc, char** argv) {
       std::cerr << "failed to write trace to " << options.trace_out << "\n";
       all_valid = false;
     }
+  }
+  if (!options.flight_out.empty()) {
+    // Solver lanes append their dumps themselves; just point at the file.
+    std::cerr << "flight recordings (per dumped solve) in "
+              << options.flight_out << "\n";
   }
   if (!options.metrics_out.empty()) {
     if (obs::Registry::instance().writeJson(options.metrics_out)) {

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite in a normal build, an
 # observability export smoke check (pdw_cli trace/metrics JSON validated by
-# tools/obs_check), an ILP perf smoke (bench_ilp_solver --quick JSON
-# validated by obs_check --bench against the committed BENCH_ilp.json
-# baseline, warm-hit rate must be positive), the ILP numerics tests under
-# ASan+UBSan, then the parallel-runtime + obs tests (determinism, route
-# cache, tracing/metrics/logging) under ThreadSanitizer.
+# tools/obs_check), a flight-recorder smoke (single-threaded pdw_cli run
+# with --flight-out, stream validated and reconciled against the metrics
+# registry by obs_check --flight), an ILP perf smoke (bench_ilp_solver
+# --quick writing both a pdw-bench-1 JSON and a pdw-run-1 run-store record,
+# gated by tools/pdw_report against the committed BENCH_ilp.json baseline;
+# obs_check --bench still schema-validates and requires warm hits), the ILP
+# numerics tests under ASan+UBSan, then the parallel-runtime + obs tests
+# (determinism, route cache, tracing/metrics/logging) under
+# ThreadSanitizer.
 #
 #   scripts/tier1.sh            # all stages
 #   PDW_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSAN stage
@@ -28,15 +32,28 @@ trap 'rm -rf "$obs_dir"' EXIT
 ./build/tools/obs_check --trace "$obs_dir/trace.json" \
   --metrics "$obs_dir/metrics.json" --expect-workers 3
 
-echo "== tier-1: ILP perf smoke (bench_ilp_solver --json-out --quick) =="
+echo "== tier-1: flight recorder smoke (pdw_cli --flight-out) =="
+# Single-threaded so every lane is canonical and the flight stream's event
+# counts reconcile EXACTLY with the registry's ilp.bb.* / ilp.simplex.*
+# counters (portfolio diver lanes would add solve blocks the batched
+# counters don't see).
+./build/examples/pdw_cli --benchmark PCR --method pdw --threads 1 \
+  --time-limit 2 --flight-out "$obs_dir/flight.jsonl" \
+  --metrics-out "$obs_dir/flight_metrics.json"
+./build/tools/obs_check --flight "$obs_dir/flight.jsonl" \
+  --metrics "$obs_dir/flight_metrics.json"
+
+echo "== tier-1: ILP perf smoke (bench_ilp_solver --quick + pdw_report) =="
+# One quick run produces both the pdw-bench-1 document (schema-validated,
+# warm dual path must have fired, engine label checked) and a pdw-run-1
+# run-store record; pdw_report gates wall time + simplex iterations on the
+# rows shared with the committed perf baseline (exit 1 = regression).
 ./build/bench/bench_ilp_solver --json-out="$obs_dir/bench.json" \
-  --label tier1-smoke --quick
-# Schema-validate the pdw-bench-1 document, require the warm dual path to
-# have actually fired (a silent all-cold regression fails here), check the
-# engine label, and gate wall time + simplex iterations on the rows shared
-# with the committed perf baseline.
+  --run-store="$obs_dir/runs.jsonl" --label tier1-smoke --quick
 ./build/tools/obs_check --bench "$obs_dir/bench.json" --expect-warm-hits \
-  --expect-engine revised --baseline BENCH_ilp.json
+  --expect-engine revised
+./build/tools/pdw_report --store "$obs_dir/runs.jsonl" --label tier1-smoke \
+  --against BENCH_ilp.json --max-regression 10% --min-wall 0.05
 
 if [[ "${PDW_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== tier-1: ASan/UBSan stage skipped (PDW_SKIP_ASAN=1) =="

@@ -95,6 +95,24 @@ struct SolverConfig {
     path.warm_lp = enabled;
     return *this;
   }
+
+  /// Enable the solver flight recorder (obs/flight.h) in both ILP stages.
+  /// Applies one FlightConfig to every branch-and-bound lane: events are
+  /// recorded per lane and dumped as `pdw-flight-1` JSONL to
+  /// `config.path` per the config's triggers.
+  SolverConfig& withFlightRecording(obs::FlightConfig config) {
+    config.enabled = true;
+    schedule.flight = config;
+    path.flight = std::move(config);
+    return *this;
+  }
+
+  /// One-line description of the solver knobs that affect results or
+  /// performance, stamped into `pdw-run-1` records (obs/runs.h).
+  std::string fingerprint() const {
+    return "schedule{" + ilp::fingerprint(schedule) + "} path{" +
+           ilp::fingerprint(path) + "}";
+  }
 };
 
 /// One consolidated option block for the whole pipeline. The builder-style
@@ -190,6 +208,13 @@ struct PdwOptions {
   [[deprecated("use PdwOptions::solver.withWarmNodeLps")]] PdwOptions&
   withWarmNodeLps(bool enabled) {
     solver.withWarmNodeLps(enabled);
+    return *this;
+  }
+
+  /// Enable the solver flight recorder in both ILP stages (see
+  /// SolverConfig::withFlightRecording).
+  PdwOptions& withFlightRecording(obs::FlightConfig config) {
+    solver.withFlightRecording(std::move(config));
     return *this;
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/wash_path_ilp.h"
+#include "obs/metric_names.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -68,13 +69,13 @@ void finalizeMetrics(PdwResult& result,
                      const obs::MetricsSnapshot& baseline) {
   obs::Registry& reg = obs::Registry::instance();
   static obs::Histogram& analysis_h =
-      reg.histogram("pdw.stage.analysis_seconds");
+      reg.histogram(obs::names::kStageAnalysisSeconds);
   static obs::Histogram& clustering_h =
-      reg.histogram("pdw.stage.clustering_seconds");
+      reg.histogram(obs::names::kStageClusteringSeconds);
   static obs::Histogram& routing_h =
-      reg.histogram("pdw.stage.routing_seconds");
+      reg.histogram(obs::names::kStageRoutingSeconds);
   static obs::Histogram& scheduling_h =
-      reg.histogram("pdw.stage.scheduling_seconds");
+      reg.histogram(obs::names::kStageSchedulingSeconds);
   analysis_h.observe(result.timings.analysis_s);
   clustering_h.observe(result.timings.clustering_s);
   routing_h.observe(result.timings.routing_s);
@@ -82,13 +83,13 @@ void finalizeMetrics(PdwResult& result,
 
   result.metrics = reg.snapshot().since(baseline);
   result.solver.path_ilp_solves =
-      static_cast<int>(result.metrics.counter("pdw.path_ilp.solves"));
+      static_cast<int>(result.metrics.counter(obs::names::kPathIlpSolves));
   result.solver.path_connectivity_cuts = static_cast<int>(
-      result.metrics.counter("pdw.path_ilp.connectivity_cuts"));
+      result.metrics.counter(obs::names::kPathIlpConnectivityCuts));
   result.solver.path_fallbacks =
-      static_cast<int>(result.metrics.counter("pdw.path_ilp.fallbacks"));
+      static_cast<int>(result.metrics.counter(obs::names::kPathIlpFallbacks));
   result.solver.path_warm_hits =
-      static_cast<int>(result.metrics.counter("pdw.path_ilp.warm_hits"));
+      static_cast<int>(result.metrics.counter(obs::names::kPathIlpWarmHits));
 }
 
 }  // namespace
@@ -166,12 +167,12 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     necessity = analyzeWashNecessity(tracker, options_.necessity);
   }
   result.plan.necessity = necessity.stats;
-  reg.counter("pdw.necessity.targets").add(necessity.stats.targets);
-  reg.counter("pdw.necessity.skipped_type1")
+  reg.counter(obs::names::kNecessityTargets).add(necessity.stats.targets);
+  reg.counter(obs::names::kNecessitySkippedType1)
       .add(necessity.stats.skipped_type1);
-  reg.counter("pdw.necessity.skipped_type2")
+  reg.counter(obs::names::kNecessitySkippedType2)
       .add(necessity.stats.skipped_type2);
-  reg.counter("pdw.necessity.skipped_type3")
+  reg.counter(obs::names::kNecessitySkippedType3)
       .add(necessity.stats.skipped_type3);
   result.timings.analysis_s = secondsSince(stage_start);
 
@@ -192,7 +193,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     washes = clusterTargets(std::move(necessity.targets), options_.cluster);
   }
   result.wash_operations = static_cast<int>(washes.size());
-  reg.counter("pdw.cluster.operations").add(result.wash_operations);
+  reg.counter(obs::names::kClusterOperations).add(result.wash_operations);
   result.timings.clustering_s = secondsSince(stage_start);
 
   // 3. Route a wash path per operation (eqs. 12-15), in parallel: the
@@ -235,7 +236,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     routed.push_back(std::move(w));
   }
   if (result.unroutable_operations > 0)
-    reg.counter("pdw.routing.unroutable_operations")
+    reg.counter(obs::names::kRoutingUnroutableOperations)
         .add(result.unroutable_operations);
   result.timings.routing_s = secondsSince(stage_start);
 
@@ -276,7 +277,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   }
   if (!scheduled) {
     result.solver.schedule_greedy_fallback = true;
-    reg.counter("pdw.schedule_ilp.greedy_fallbacks").increment();
+    reg.counter(obs::names::kScheduleIlpGreedyFallbacks).increment();
     result.plan.schedule =
         wash::rescheduleWithWashes(base, routed, options_.wash, pool_.get());
   }

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/wash_path_ilp.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace pdw::core {
@@ -15,25 +16,25 @@ namespace {
 // exports see cache behavior without a handle on the instance.
 obs::Counter& hitCounter() {
   static obs::Counter& c =
-      obs::Registry::instance().counter("pdw.route_cache.hits");
+      obs::Registry::instance().counter(obs::names::kRouteCacheHits);
   return c;
 }
 
 obs::Counter& missCounter() {
   static obs::Counter& c =
-      obs::Registry::instance().counter("pdw.route_cache.misses");
+      obs::Registry::instance().counter(obs::names::kRouteCacheMisses);
   return c;
 }
 
 obs::Counter& insertCounter() {
   static obs::Counter& c =
-      obs::Registry::instance().counter("pdw.route_cache.inserts");
+      obs::Registry::instance().counter(obs::names::kRouteCacheInserts);
   return c;
 }
 
 obs::Counter& evictionCounter() {
   static obs::Counter& c =
-      obs::Registry::instance().counter("pdw.route_cache.evictions");
+      obs::Registry::instance().counter(obs::names::kRouteCacheEvictions);
   return c;
 }
 

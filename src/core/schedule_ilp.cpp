@@ -6,6 +6,7 @@
 #include <set>
 
 #include "ilp/solver.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -71,9 +72,9 @@ class Builder {
       buildObjective();
     }
     obs::Registry& reg = obs::Registry::instance();
-    reg.gauge("pdw.schedule_ilp.order_binaries")
+    reg.gauge(obs::names::kScheduleIlpOrderBinaries)
         .set(static_cast<double>(num_order_binaries_));
-    reg.gauge("pdw.schedule_ilp.psi_vars")
+    reg.gauge(obs::names::kScheduleIlpPsiVars)
         .set(static_cast<double>(psi_count_));
 
     ScheduleIlpResult result;

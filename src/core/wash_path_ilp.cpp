@@ -6,6 +6,7 @@
 
 #include "arch/router.h"
 #include "ilp/solver.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -264,10 +265,10 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
   // the registry carries the same events as process-wide totals, which the
   // pipeline reads back as per-run deltas.
   obs::Registry& reg = obs::Registry::instance();
-  static obs::Counter& ilp_solves = reg.counter("pdw.path_ilp.solves");
-  static obs::Counter& cuts = reg.counter("pdw.path_ilp.connectivity_cuts");
-  static obs::Counter& fallbacks = reg.counter("pdw.path_ilp.fallbacks");
-  static obs::Counter& warm_hits = reg.counter("pdw.path_ilp.warm_hits");
+  static obs::Counter& ilp_solves = reg.counter(obs::names::kPathIlpSolves);
+  static obs::Counter& cuts = reg.counter(obs::names::kPathIlpConnectivityCuts);
+  static obs::Counter& fallbacks = reg.counter(obs::names::kPathIlpFallbacks);
+  static obs::Counter& warm_hits = reg.counter(obs::names::kPathIlpWarmHits);
 
   std::optional<FlowPath> ilp_path;
   for (const bool whole_grid : {false, true}) {
@@ -321,7 +322,7 @@ std::optional<FlowPath> routeWashPathHeuristic(
   if (targets.empty()) return std::nullopt;
   PDW_TRACE_SPAN("routing", "path_bfs");
   static obs::Counter& routes =
-      obs::Registry::instance().counter("pdw.path_bfs.routes");
+      obs::Registry::instance().counter(obs::names::kPathBfsRoutes);
   routes.increment();
   arch::Router router(chip);
 

@@ -10,6 +10,8 @@
 
 #include "ilp/lp_backend.h"
 #include "ilp/simplex.h"
+#include "obs/flight.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -25,20 +27,21 @@ namespace {
 /// engine (lp_solves > 0); pure-LP models delegate to solveLp, which counts
 /// itself.
 void recordMipSolve(const Solution& result, double wall_seconds) {
+  namespace names = obs::names;
   obs::Registry& reg = obs::Registry::instance();
-  static obs::Counter& solves = reg.counter("ilp.bb.solves");
-  static obs::Counter& nodes = reg.counter("ilp.bb.nodes");
-  static obs::Counter& diver_nodes = reg.counter("ilp.bb.diver_nodes");
-  static obs::Counter& certified = reg.counter("ilp.bb.race_certified");
-  static obs::Counter& rc_fixed = reg.counter("ilp.bb.rc_fixed");
-  static obs::Counter& simplex_calls = reg.counter("ilp.simplex.calls");
-  static obs::Counter& simplex_iters = reg.counter("ilp.simplex.iterations");
-  static obs::Counter& warm_hits = reg.counter("ilp.simplex.warm_hits");
-  static obs::Counter& warm_misses = reg.counter("ilp.simplex.warm_misses");
-  static obs::Counter& dual_pivots = reg.counter("ilp.simplex.dual_pivots");
+  static obs::Counter& solves = reg.counter(names::kBbSolves);
+  static obs::Counter& nodes = reg.counter(names::kBbNodes);
+  static obs::Counter& diver_nodes = reg.counter(names::kBbDiverNodes);
+  static obs::Counter& certified = reg.counter(names::kBbRaceCertified);
+  static obs::Counter& rc_fixed = reg.counter(names::kBbRcFixed);
+  static obs::Counter& simplex_calls = reg.counter(names::kSimplexCalls);
+  static obs::Counter& simplex_iters = reg.counter(names::kSimplexIterations);
+  static obs::Counter& warm_hits = reg.counter(names::kSimplexWarmHits);
+  static obs::Counter& warm_misses = reg.counter(names::kSimplexWarmMisses);
+  static obs::Counter& dual_pivots = reg.counter(names::kSimplexDualPivots);
   static obs::Counter& refactorizations =
-      reg.counter("ilp.simplex.refactorizations");
-  static obs::Histogram& seconds = reg.histogram("ilp.solve_seconds");
+      reg.counter(names::kSimplexRefactorizations);
+  static obs::Histogram& seconds = reg.histogram(names::kSolveSeconds);
   solves.increment();
   nodes.add(result.stats.nodes_explored);
   diver_nodes.add(result.stats.portfolio_nodes);
@@ -128,6 +131,11 @@ class BranchAndBound {
         start_(Clock::now()) {
     for (VarId v = 0; v < model.numVars(); ++v)
       if (model.var(v).type != VarType::Continuous) integer_vars_.push_back(v);
+    if (params.flight.enabled) {
+      flight_ = std::make_unique<obs::FlightRecorder>(
+          params.flight, canonical() ? "canonical" : "diver");
+      engine_->setFlightRecorder(flight_.get());
+    }
   }
 
   Solution run() {
@@ -162,8 +170,13 @@ class BranchAndBound {
     path_.push_back(Frame{0, 0});
     pushOpen(QueueEntry{-kInfinity, 0});
 
-    static obs::Histogram& pivots_per_node =
-        obs::Registry::instance().histogram("ilp.simplex.pivots_per_node");
+    static obs::Histogram& pivots_per_node = obs::Registry::instance()
+        .histogram(obs::names::kSimplexPivotsPerNode);
+
+    if (flight_)
+      flight_->record(obs::FlightEventKind::SolveBegin, 0,
+                      static_cast<double>(model_.numVars()),
+                      static_cast<double>(integer_vars_.size()));
 
     bool hit_limit = false;
     bool lp_trouble = false;
@@ -193,10 +206,28 @@ class BranchAndBound {
       }
 
       const QueueEntry entry = popNext();
-      if (entry.bound >= pruneBound() - absTol()) continue;
+      if (entry.bound >= pruneBound() - absTol()) {
+        // Pruned before its LP ran: the incumbent improved since this node
+        // was queued. It gets a NodePruned event but no NodeOpen, so the
+        // NodeOpen count stays equal to stats_.nodes_explored.
+        if (flight_)
+          flight_->record(obs::FlightEventKind::NodePruned, entry.node,
+                          entry.bound, obs::kPruneReasonInheritedBound);
+        continue;
+      }
 
       moveTo(entry.node);
       ++stats_.nodes_explored;
+      if (flight_) {
+        // chain_ still holds the frames moveTo() just applied, so its size
+        // is the path distance walked to reach this node.
+        flight_->record(obs::FlightEventKind::BoundDelta, entry.node,
+                        static_cast<double>(chain_.size()));
+        flight_->record(
+            obs::FlightEventKind::NodeOpen, entry.node, entry.bound,
+            static_cast<double>(
+                nodes_[static_cast<std::size_t>(entry.node)].depth));
+      }
 
       // Node LP: warm dual re-solve from the engine's current basis when
       // possible, cold two-phase primal otherwise. The root is always cold
@@ -215,8 +246,21 @@ class BranchAndBound {
         else ++stats_.warm_misses;
       }
       pivots_per_node.observe(static_cast<double>(lp.iterations));
+      if (flight_) {
+        // WarmMiss mirrors the stats_.warm_misses condition exactly, so the
+        // dump's count reconciles with ilp.simplex.warm_misses.
+        if (entry.node != 0 && !used_warm)
+          flight_->record(obs::FlightEventKind::WarmMiss, entry.node);
+        flight_->record(obs::FlightEventKind::NodeSolved, entry.node,
+                        lp.objective, static_cast<double>(lp.iterations));
+      }
 
-      if (lp.status == LpStatus::Infeasible) continue;
+      if (lp.status == LpStatus::Infeasible) {
+        if (flight_)
+          flight_->record(obs::FlightEventKind::NodePruned, entry.node, 0.0,
+                          obs::kPruneReasonInfeasible);
+        continue;
+      }
       if (lp.status == LpStatus::Unbounded) {
         // Unboundedness of a node relaxation implies the MILP is unbounded
         // unless integrality cuts it off; we report it conservatively only
@@ -224,6 +268,7 @@ class BranchAndBound {
         if (entry.node == 0 && !has_incumbent_) {
           result.status = SolveStatus::Unbounded;
           fillStats(result);
+          maybeDumpFlight(result, false);
           return result;
         }
         lp_trouble = true;
@@ -234,7 +279,12 @@ class BranchAndBound {
         continue;
       }
 
-      if (lp.objective >= pruneBound() - absTol()) continue;
+      if (lp.objective >= pruneBound() - absTol()) {
+        if (flight_)
+          flight_->record(obs::FlightEventKind::NodePruned, entry.node,
+                          lp.objective, obs::kPruneReasonLpBound);
+        continue;
+      }
 
       const VarId branch_var = pickBranchVariable(lp.values);
       if (branch_var < 0) {
@@ -258,6 +308,9 @@ class BranchAndBound {
       }
 
       const double value = lp.values[static_cast<std::size_t>(branch_var)];
+      if (flight_)
+        flight_->record(obs::FlightEventKind::NodeBranched, entry.node,
+                        static_cast<double>(branch_var), value);
       const double floor_value = std::floor(value + params_.integrality_tol);
       pushChild(entry.node, branch_var,
                 lower_[static_cast<std::size_t>(branch_var)], floor_value,
@@ -295,6 +348,7 @@ class BranchAndBound {
     } else {
       result.status = SolveStatus::Infeasible;
     }
+    maybeDumpFlight(result, hit_limit);
     return result;
   }
 
@@ -302,6 +356,13 @@ class BranchAndBound {
   double absTol() const { return 1e-9; }
 
   bool canonical() const { return strategy_ == Strategy::BestBound; }
+
+  void maybeDumpFlight(const Solution& result, bool hit_limit) const {
+    if (flight_ &&
+        flight_->shouldDump(hit_limit, result.stats.wall_seconds)) {
+      flight_->dump(toString(result.status), result.stats.wall_seconds);
+    }
+  }
 
   /// Objective threshold for pruning. The canonical search prunes only
   /// against its *own* incumbent (determinism: its node sequence never
@@ -485,6 +546,9 @@ class BranchAndBound {
     incumbent_obj_ = objective;
     has_incumbent_ = true;
     publishIncumbent();
+    if (flight_)
+      flight_->record(obs::FlightEventKind::Incumbent, -1, incumbent_obj_,
+                      static_cast<double>(stats_.nodes_explored));
     if (params_.log_progress) {
       PDW_LOG(Info, "ilp") << "incumbent " << incumbent_obj_ << " after "
                            << stats_.nodes_explored << " nodes";
@@ -510,6 +574,9 @@ class BranchAndBound {
   const SolveParams& params_;
   Strategy strategy_;
   RaceState* race_;
+  /// Declared before engine_ so it outlives the backend holding a raw
+  /// pointer to it (members destroy in reverse declaration order).
+  std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<LpBackend> engine_;  ///< selected via params.engine
   Clock::time_point start_;
 

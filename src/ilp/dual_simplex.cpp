@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/flight.h"
+
 namespace pdw::ilp {
 
 SimplexEngine::SimplexEngine(const Model& model, const SolveParams& params)
@@ -326,7 +328,14 @@ std::optional<LpResult> SimplexEngine::warmSolve(
   }
 
   const DualStatus status = dualIterate();
-  if (status == DualStatus::Stalled) return std::nullopt;
+  if (status == DualStatus::Stalled) {
+    // Degenerate-pivot stall aborts the warm re-solve; the caller falls
+    // back to a cold solve (surfacing as a WarmMiss in the lane's stats).
+    if (flight_)
+      flight_->record(obs::FlightEventKind::DualStall, -1,
+                      static_cast<double>(call_dual_pivots_));
+    return std::nullopt;
+  }
 
   LpResult result;
   result.iterations = call_iterations_;

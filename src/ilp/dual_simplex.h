@@ -76,6 +76,10 @@ class SimplexEngine final : public LpBackend {
 
   const char* name() const override { return "dense"; }
 
+  void setFlightRecorder(obs::FlightRecorder* recorder) override {
+    flight_ = recorder;
+  }
+
   /// Test-only invariant probe: reconstructs the current point (all
   /// nonbasic columns at zero, basics at their rhs cells, complements and
   /// shifts unwound) and returns the worst absolute violation of the loaded
@@ -146,6 +150,7 @@ class SimplexEngine final : public LpBackend {
   std::int64_t call_iterations_ = 0;
   std::int64_t call_dual_pivots_ = 0;
   std::int64_t warm_since_cold_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace pdw::ilp

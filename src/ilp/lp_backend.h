@@ -29,6 +29,10 @@
 
 #include "ilp/types.h"
 
+namespace pdw::obs {
+class FlightRecorder;
+}
+
 namespace pdw::ilp {
 
 class Model;
@@ -71,6 +75,14 @@ class LpBackend {
 
   /// Registry name of this backend ("revised", "dense", ...).
   virtual const char* name() const = 0;
+
+  /// Attach a flight recorder (obs/flight.h) owned by the calling lane; the
+  /// backend records engine-level events (refactorizations, degenerate-pivot
+  /// stalls) into it. nullptr (the default) disables recording. The recorder
+  /// must outlive the backend or be detached before destruction.
+  virtual void setFlightRecorder(obs::FlightRecorder* recorder) {
+    (void)recorder;
+  }
 };
 
 /// Factory signature: `model` and `params` must outlive the backend.

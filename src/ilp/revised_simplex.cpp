@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/flight.h"
+
 namespace pdw::ilp {
 
 RevisedSimplex::RevisedSimplex(const Model& model, const SolveParams& params)
@@ -113,6 +115,7 @@ bool RevisedSimplex::refactor() {
                   &cols[static_cast<std::size_t>(i)]);
   if (!lu_.factor(m_, cols)) return false;
   ++call_factorizations_;
+  if (flight_) flight_->record(obs::FlightEventKind::Refactorization);
   // Re-anchor drift: both the basic values and the reduced costs are
   // recomputed from scratch against the fresh factors.
   computeBasicValues();
@@ -442,7 +445,14 @@ std::optional<LpResult> RevisedSimplex::warmSolve(
   // jumps legitimately need more, scaling with the model.
   const std::int64_t cap = 1000 + 4LL * (m_ + total_);
   const DualStatus status = dualIterate(/*zero_cost=*/false, cap);
-  if (status == DualStatus::Stalled) return std::nullopt;
+  if (status == DualStatus::Stalled) {
+    // Degenerate-pivot stall aborts the warm re-solve; the caller falls
+    // back to a cold solve (surfacing as a WarmMiss in the lane's stats).
+    if (flight_)
+      flight_->record(obs::FlightEventKind::DualStall, -1,
+                      static_cast<double>(call_dual_pivots_));
+    return std::nullopt;
+  }
 
   LpResult result;
   result.iterations = call_iterations_;

@@ -58,6 +58,9 @@ class RevisedSimplex final : public LpBackend {
   void collectReducedCostFixes(double gap, double integrality_tol,
                                std::vector<Fix>* out) const override;
   const char* name() const override { return "revised"; }
+  void setFlightRecorder(obs::FlightRecorder* recorder) override {
+    flight_ = recorder;
+  }
 
  private:
   static constexpr double kEps = 1e-9;
@@ -148,6 +151,7 @@ class RevisedSimplex final : public LpBackend {
   std::int64_t call_dual_pivots_ = 0;
   std::int64_t call_factorizations_ = 0;
   std::int64_t warm_since_cold_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;  ///< not owned; may be null
 
   // scratch
   mutable std::vector<double> alpha_, rho_, row_;

@@ -1,6 +1,7 @@
 #include "ilp/simplex.h"
 
 #include "ilp/lp_backend.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace pdw::ilp {
@@ -29,11 +30,11 @@ LpResult solveLp(const Model& model, const SolveParams& params,
   LpResult result = engine->coldSolve(lower, upper);
   // Batched per call, not per pivot: three relaxed adds per LP.
   static obs::Counter& calls =
-      obs::Registry::instance().counter("ilp.simplex.calls");
+      obs::Registry::instance().counter(obs::names::kSimplexCalls);
   static obs::Counter& iterations =
-      obs::Registry::instance().counter("ilp.simplex.iterations");
+      obs::Registry::instance().counter(obs::names::kSimplexIterations);
   static obs::Counter& refactorizations =
-      obs::Registry::instance().counter("ilp.simplex.refactorizations");
+      obs::Registry::instance().counter(obs::names::kSimplexRefactorizations);
   calls.increment();
   iterations.add(result.iterations);
   refactorizations.add(result.factorizations);

@@ -1,9 +1,27 @@
 #include "ilp/solver.h"
 
+#include <cstdio>
+
 #include "ilp/branch_bound.h"
+#include "ilp/lp_backend.h"
 #include "ilp/presolve.h"
 
 namespace pdw::ilp {
+
+std::string fingerprint(const SolveParams& params) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "engine=%s tl=%.3g nodes=%lld iters=%lld gap=%.3g presolve=%d "
+      "warm=%d rc=%d portfolio=%d",
+      params.engine.empty() ? defaultLpBackendName().c_str()
+                            : params.engine.c_str(),
+      params.time_limit_seconds, static_cast<long long>(params.node_limit),
+      static_cast<long long>(params.simplex_iteration_limit), params.mip_gap,
+      params.enable_presolve ? 1 : 0, params.warm_lp ? 1 : 0,
+      params.rc_fixing ? 1 : 0, params.portfolio_threads);
+  return buf;
+}
 
 Solution solve(const Model& model, const SolveParams& params) {
   if (!params.enable_presolve) return solveMip(model, params);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
+
 namespace pdw::ilp {
 
 /// Index of a decision variable inside a Model.
@@ -139,6 +141,12 @@ struct SolveParams {
   /// LP solve (anti-cycling). 0 = automatic (scales with model size); tests
   /// set 1 to exercise the Bland path directly.
   std::int64_t bland_iteration_override = 0;
+  /// Flight recorder (obs/flight.h): when `flight.enabled`, every
+  /// branch-and-bound lane records structured search events into a bounded
+  /// ring and dumps them as `pdw-flight-1` JSONL per the config's triggers
+  /// (explicit path, budget-capped solve, slow solve). Off by default —
+  /// disabled lanes pay one null check per event site.
+  obs::FlightConfig flight;
   /// >= 2 races the canonical best-bound search against a depth-first diver
   /// on a second thread. The diver publishes feasible objectives through an
   /// atomic incumbent bound; the canonical search stops early once its own
@@ -147,5 +155,11 @@ struct SolveParams {
   /// single-threaded solve (only stats/status certification differ).
   int portfolio_threads = 1;
 };
+
+/// Compact one-line description of the solver knobs that affect results or
+/// performance ("engine=revised tl=4 nodes=60000 ..."), stamped into
+/// `pdw-run-1` records so stored runs are only compared within one
+/// configuration. Defined in solver.cpp.
+std::string fingerprint(const SolveParams& params);
 
 }  // namespace pdw::ilp

@@ -59,6 +59,29 @@ void Histogram::reset() {
   max_.store(kEmptyMax, std::memory_order_relaxed);
 }
 
+double MetricValue::percentile(double p) const {
+  if (kind != Kind::Histogram || count <= 0 || buckets.empty()) return 0.0;
+  const double clamped_p = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+  const double target = clamped_p / 100.0 * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Bucket 0 spans [0, 1); bucket i spans [2^(i-1), 2^i).
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double fraction = (target - cumulative) / in_bucket;
+      double estimate = lo + fraction * (hi - lo);
+      if (estimate < min) estimate = min;
+      if (max > 0.0 && estimate > max) estimate = max;
+      return estimate;
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
 std::int64_t MetricsSnapshot::counter(std::string_view name) const {
   const auto it = values.find(std::string(name));
   return it == values.end() || it->second.kind != MetricValue::Kind::Counter
@@ -100,7 +123,7 @@ MetricsSnapshot MetricsSnapshot::since(
 
 std::string MetricsSnapshot::toJson() const {
   std::string out = "{\"schema\":\"pdw-metrics-1\",\"metrics\":{";
-  char buf[64];
+  char buf[128];
   bool first = true;
   for (const auto& [name, value] : values) {
     if (!first) out += ',';
@@ -130,6 +153,11 @@ std::string MetricsSnapshot::toJson() const {
         out += buf;
         std::snprintf(buf, sizeof(buf), ",\"min\":%.9g,\"max\":%.9g",
                       value.min, value.max);
+        out += buf;
+        std::snprintf(buf, sizeof(buf),
+                      ",\"p50\":%.9g,\"p90\":%.9g,\"p99\":%.9g",
+                      value.percentile(50), value.percentile(90),
+                      value.percentile(99));
         out += buf;
         out += ",\"buckets\":[";
         for (std::size_t i = 0; i < value.buckets.size(); ++i) {

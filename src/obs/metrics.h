@@ -101,6 +101,14 @@ struct MetricValue {
   double min = 0.0;        ///< histogram only
   double max = 0.0;        ///< histogram only
   std::vector<std::int64_t> buckets;  ///< histogram only (trailing zeros cut)
+
+  /// Histogram percentile estimate (`p` in percent, e.g. 50 / 90 / 99):
+  /// locates the bucket holding the target rank and interpolates linearly
+  /// inside its power-of-two range, clamped to the recorded [min, max].
+  /// Works on per-run deltas too (bucket counts subtract; min/max are the
+  /// current snapshot's, so the clamp only ever tightens). 0 when empty or
+  /// not a histogram.
+  double percentile(double p) const;
 };
 
 struct MetricsSnapshot {

@@ -6,6 +6,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,18 +17,18 @@ namespace {
 // Handles resolved once; every update after that is one relaxed atomic.
 obs::Counter& tasksExecuted() {
   static obs::Counter& c =
-      obs::Registry::instance().counter("pool.tasks_executed");
+      obs::Registry::instance().counter(obs::names::kPoolTasksExecuted);
   return c;
 }
 
 obs::Counter& tasksStolen() {
   static obs::Counter& c =
-      obs::Registry::instance().counter("pool.tasks_stolen");
+      obs::Registry::instance().counter(obs::names::kPoolTasksStolen);
   return c;
 }
 
 obs::Gauge& queueDepth() {
-  static obs::Gauge& g = obs::Registry::instance().gauge("pool.queue_depth");
+  static obs::Gauge& g = obs::Registry::instance().gauge(obs::names::kPoolQueueDepth);
   return g;
 }
 

@@ -3,6 +3,18 @@
 //   obs_check --trace t.json --metrics m.json [--expect-workers N]
 //   obs_check --bench b.json [--expect-warm-hits] [--expect-engine NAME]
 //             [--baseline BENCH.json]
+//   obs_check --flight f.jsonl [--metrics m.json]
+//
+// Flight checks: a `pdw-flight-1` JSONL stream (obs/flight.h) — every line
+// parses, solve headers carry lane/status/wall/counts/dropped/events, each
+// header is followed by exactly its `events` event lines with known kinds
+// and increasing seq, and sum(counts) == dropped + events per block. When
+// --metrics is also given, the stream is reconciled against the registry
+// export: canonical-lane node_open == ilp.bb.nodes, diver node_open ==
+// ilp.bb.diver_nodes, canonical warm_miss == ilp.simplex.warm_misses, and
+// solve headers <= ilp.bb.solves (pure-LP solves carry no recorder). Exact
+// only when the producing process dumped every solve (--flight-out /
+// dump_all) — which is how tier1.sh drives it.
 //
 // Trace checks: parses as Chrome trace_event JSON (object form), every
 // event carries ph/ts/pid/tid, begin/end counts balance with proper nesting
@@ -126,7 +138,7 @@ void checkTrace(const std::string& path, int expect_workers) {
          std::to_string(worker_names.size()));
 }
 
-void checkMetrics(const std::string& path) {
+void checkMetrics(const std::string& path, bool expect_pool) {
   const std::string text = slurp(path);
   if (text.empty()) return fail("metrics file empty or unreadable: " + path);
   const auto doc = pdw::obs::json::parse(text);
@@ -138,11 +150,17 @@ void checkMetrics(const std::string& path) {
   if (!metrics || !metrics->isObject())
     return fail("metrics has no 'metrics' object");
 
-  for (const char* key :
-       {"pdw.necessity.targets", "pdw.cluster.operations",
-        "pdw.path_ilp.solves", "pdw.route_cache.misses", "ilp.bb.solves",
-        "ilp.bb.nodes", "ilp.simplex.calls", "ilp.simplex.iterations",
-        "ilp.solve_seconds", "pool.tasks_executed"}) {
+  std::vector<const char*> required = {
+      "pdw.necessity.targets", "pdw.cluster.operations",
+      "pdw.path_ilp.solves",   "pdw.route_cache.misses",
+      "ilp.bb.solves",         "ilp.bb.nodes",
+      "ilp.simplex.calls",     "ilp.simplex.iterations",
+      "ilp.solve_seconds"};
+  // A sequential (--threads 1) run never constructs the pool, so its
+  // counters legitimately don't exist; require them only alongside
+  // --expect-workers.
+  if (expect_pool) required.push_back("pool.tasks_executed");
+  for (const char* key : required) {
     const Value* entry = metrics->find(key);
     if (!entry || !entry->isObject()) {
       fail(std::string("missing metric '") + key + "'");
@@ -157,6 +175,219 @@ void checkMetrics(const std::string& path) {
       fail(std::string("metric '") + key +
            "' has no non-negative reading");
   }
+
+  // Latency summary for the log: every histogram's count and estimated
+  // p50/p90/p99 (exported since the percentile fields landed in
+  // pdw-metrics-1; their absence is a failure — stale producer).
+  for (const auto& [name, entry] : metrics->object) {
+    const Value* type = entry.find("type");
+    if (!type || !type->isString() || type->string != "histogram") continue;
+    const Value* count = entry.find("count");
+    double percentiles[3] = {0, 0, 0};
+    bool have = true;
+    const char* keys[3] = {"p50", "p90", "p99"};
+    for (int i = 0; i < 3; ++i) {
+      const Value* p = entry.find(keys[i]);
+      if (p && p->isNumber()) {
+        percentiles[i] = p->number;
+      } else {
+        fail("histogram '" + name + "' has no numeric '" + keys[i] + "'");
+        have = false;
+      }
+    }
+    if (have)
+      std::fprintf(stderr,
+                   "obs_check: histogram %-30s count %8.0f  p50 %10.3g  "
+                   "p90 %10.3g  p99 %10.3g\n",
+                   name.c_str(),
+                   count && count->isNumber() ? count->number : -1.0,
+                   percentiles[0], percentiles[1], percentiles[2]);
+  }
+}
+
+// ---- flight stream (`pdw-flight-1` JSONL) --------------------------------
+
+/// Per-kind totals of a flight stream, split by lane, plus the header count.
+struct FlightTotals {
+  std::map<std::string, std::map<std::string, double>> by_lane;
+  int solve_headers = 0;
+};
+
+FlightTotals checkFlight(const std::string& path) {
+  FlightTotals totals;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail("flight file unreadable: " + path);
+    return totals;
+  }
+
+  static const std::set<std::string> known_kinds = {
+      "solve_begin", "node_open",   "node_solved",     "node_pruned",
+      "node_branched", "incumbent", "bound_delta",     "warm_miss",
+      "refactorization", "dual_stall"};
+
+  std::string line;
+  int line_no = 0;
+  // Current block state: how many event lines the last header still owes,
+  // its per-kind retained tally (to cross-check against counts+dropped).
+  long long events_due = 0;
+  double counts_sum = 0, dropped = 0, events_declared = 0;
+  double last_seq = -1;
+  std::string block_desc;
+
+  const auto closeBlock = [&] {
+    if (events_due > 0)
+      fail(block_desc + ": declared " + std::to_string(events_declared) +
+           " events but the block ended " + std::to_string(events_due) +
+           " short");
+    if (counts_sum != dropped + events_declared)
+      fail(block_desc + ": counts sum to " + std::to_string(counts_sum) +
+           " but dropped+events = " +
+           std::to_string(dropped + events_declared));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto doc = pdw::obs::json::parse(line);
+    if (!doc || !doc->isObject()) {
+      fail("flight line " + std::to_string(line_no) + " is not JSON");
+      continue;
+    }
+    const Value* type = doc->find("type");
+    if (!type || !type->isString()) {
+      fail("flight line " + std::to_string(line_no) + " has no 'type'");
+      continue;
+    }
+
+    if (type->string == "solve") {
+      closeBlock();
+      ++totals.solve_headers;
+      block_desc = "flight solve block at line " + std::to_string(line_no);
+      const Value* schema = doc->find("schema");
+      if (!schema || !schema->isString() || schema->string != "pdw-flight-1")
+        fail(block_desc + ": schema tag is not 'pdw-flight-1'");
+      const Value* lane = doc->find("lane");
+      const std::string lane_name =
+          lane && lane->isString() ? lane->string : "<missing>";
+      if (lane_name == "<missing>") fail(block_desc + ": no 'lane'");
+      if (!doc->find("status") || !doc->find("status")->isString())
+        fail(block_desc + ": no string 'status'");
+      const Value* wall = doc->find("wall_seconds");
+      if (!wall || !wall->isNumber() || wall->number < 0)
+        fail(block_desc + ": no non-negative 'wall_seconds'");
+
+      counts_sum = 0;
+      const Value* counts = doc->find("counts");
+      if (counts && counts->isObject()) {
+        for (const auto& [kind, v] : counts->object) {
+          if (!known_kinds.count(kind))
+            fail(block_desc + ": unknown event kind '" + kind + "'");
+          if (!v.isNumber() || v.number < 0) {
+            fail(block_desc + ": count '" + kind + "' is not a number");
+            continue;
+          }
+          counts_sum += v.number;
+          totals.by_lane[lane_name][kind] += v.number;
+        }
+      } else {
+        fail(block_desc + ": no 'counts' object");
+      }
+      const Value* dropped_v = doc->find("dropped");
+      const Value* events_v = doc->find("events");
+      dropped = dropped_v && dropped_v->isNumber() ? dropped_v->number : -1;
+      events_declared =
+          events_v && events_v->isNumber() ? events_v->number : -1;
+      if (dropped < 0) fail(block_desc + ": no numeric 'dropped'");
+      if (events_declared < 0) fail(block_desc + ": no numeric 'events'");
+      events_due = static_cast<long long>(events_declared);
+      last_seq = -1;
+    } else if (type->string == "event") {
+      if (totals.solve_headers == 0) {
+        fail("flight line " + std::to_string(line_no) +
+             ": event before any solve header");
+        continue;
+      }
+      if (--events_due < 0)
+        fail("flight line " + std::to_string(line_no) +
+             ": more event lines than the header declared");
+      const Value* kind = doc->find("kind");
+      if (!kind || !kind->isString() || !known_kinds.count(kind->string))
+        fail("flight line " + std::to_string(line_no) +
+             ": unknown event kind");
+      for (const char* key : {"seq", "t_us", "node", "value", "extra"})
+        if (!doc->find(key) || !doc->find(key)->isNumber())
+          fail("flight line " + std::to_string(line_no) +
+               ": no numeric '" + key + "'");
+      const Value* seq = doc->find("seq");
+      if (seq && seq->isNumber()) {
+        if (seq->number <= last_seq)
+          fail("flight line " + std::to_string(line_no) +
+               ": seq not increasing within the block");
+        last_seq = seq->number;
+      }
+    } else {
+      fail("flight line " + std::to_string(line_no) + ": unknown type '" +
+           type->string + "'");
+    }
+  }
+  closeBlock();
+  if (totals.solve_headers == 0)
+    fail("flight stream has no solve headers: " + path);
+  return totals;
+}
+
+/// Reconcile flight per-kind totals against a pdw-metrics-1 export. Exact
+/// when the producing process dumped every solve (dump_all) and ran the
+/// canonical search single-threaded per lane, which tier1.sh guarantees.
+void reconcileFlight(const FlightTotals& totals,
+                     const std::string& metrics_path) {
+  const std::string text = slurp(metrics_path);
+  const auto doc = pdw::obs::json::parse(text);
+  if (!doc || !doc->isObject()) return;  // checkMetrics already failed it
+  const Value* metrics = doc->find("metrics");
+  if (!metrics || !metrics->isObject()) return;
+
+  const auto counterValue = [&](const char* name) -> double {
+    const Value* entry = metrics->find(name);
+    const Value* v = entry ? entry->find("value") : nullptr;
+    return v && v->isNumber() ? v->number : 0.0;
+  };
+  const auto laneKind = [&](const char* lane, const char* kind) -> double {
+    const auto lit = totals.by_lane.find(lane);
+    if (lit == totals.by_lane.end()) return 0.0;
+    const auto kit = lit->second.find(kind);
+    return kit == lit->second.end() ? 0.0 : kit->second;
+  };
+  const auto expectEqual = [&](const char* what, double flight,
+                               double registry) {
+    if (flight != registry)
+      fail(std::string("flight/registry mismatch: ") + what + " " +
+           std::to_string(flight) + " (flight) != " +
+           std::to_string(registry) + " (registry)");
+    else
+      std::fprintf(stderr, "obs_check: flight %-38s %12.0f == registry\n",
+                   what, flight);
+  };
+
+  expectEqual("canonical node_open vs ilp.bb.nodes",
+              laneKind("canonical", "node_open"), counterValue("ilp.bb.nodes"));
+  expectEqual("diver node_open vs ilp.bb.diver_nodes",
+              laneKind("diver", "node_open"),
+              counterValue("ilp.bb.diver_nodes"));
+  expectEqual("canonical warm_miss vs ilp.simplex.warm_misses",
+              laneKind("canonical", "warm_miss"),
+              counterValue("ilp.simplex.warm_misses"));
+
+  const double solves = counterValue("ilp.bb.solves");
+  if (static_cast<double>(totals.solve_headers) > solves)
+    fail("flight stream has " + std::to_string(totals.solve_headers) +
+         " solve headers but the registry counted only " +
+         std::to_string(solves) + " ilp.bb.solves");
+  else
+    std::fprintf(stderr,
+                 "obs_check: flight solve headers %d <= ilp.bb.solves %.0f\n",
+                 totals.solve_headers, solves);
 }
 
 struct BenchRow {
@@ -298,7 +529,7 @@ void checkBench(const std::string& path, bool expect_warm_hits,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, metrics_path, bench_path;
+  std::string trace_path, metrics_path, bench_path, flight_path;
   std::string expect_engine, baseline_path;
   bool expect_warm_hits = false;
   int expect_workers = 0;
@@ -319,31 +550,45 @@ int main(int argc, char** argv) {
     } else if (arg == "--bench") {
       const char* v = next();
       if (v) bench_path = v;
+    } else if (arg == "--flight") {
+      const char* v = next();
+      if (v) flight_path = v;
     } else if (arg == "--expect-warm-hits") {
       expect_warm_hits = true;
     } else if (arg == "--expect-engine") {
       const char* v = next();
       if (v) expect_engine = v;
     } else if (arg == "--baseline") {
+      // Deprecated: the totals-only gate predates the run-record store.
+      // tools/pdw_report diffs per-row with configurable thresholds; this
+      // alias survives for older scripts.
+      std::fprintf(stderr,
+                   "obs_check: note: --baseline is deprecated; prefer "
+                   "pdw_report --against BENCH.json\n");
       const char* v = next();
       if (v) baseline_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: obs_check [--trace FILE] [--metrics FILE] "
                    "[--expect-workers N] [--bench FILE] "
-                   "[--expect-warm-hits] [--expect-engine NAME] "
-                   "[--baseline BENCH.json]\n");
+                   "[--flight FILE.jsonl] [--expect-warm-hits] "
+                   "[--expect-engine NAME] [--baseline BENCH.json]\n");
       return 2;
     }
   }
-  if (trace_path.empty() && metrics_path.empty() && bench_path.empty()) {
+  if (trace_path.empty() && metrics_path.empty() && bench_path.empty() &&
+      flight_path.empty()) {
     std::fprintf(stderr, "obs_check: nothing to check\n");
     return 2;
   }
   if (!trace_path.empty()) checkTrace(trace_path, expect_workers);
-  if (!metrics_path.empty()) checkMetrics(metrics_path);
+  if (!metrics_path.empty()) checkMetrics(metrics_path, expect_workers > 0);
   if (!bench_path.empty())
     checkBench(bench_path, expect_warm_hits, expect_engine, baseline_path);
+  if (!flight_path.empty()) {
+    const FlightTotals totals = checkFlight(flight_path);
+    if (!metrics_path.empty()) reconcileFlight(totals, metrics_path);
+  }
   if (failures == 0) {
     std::fprintf(stderr, "obs_check: OK\n");
     return 0;
