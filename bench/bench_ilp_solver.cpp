@@ -13,6 +13,7 @@
 //    perf baseline this series is measured against.
 //
 //      bench_ilp_solver --json-out=out.json [--quick] [--label=NAME]
+//                       [--no-cuts]   # pre-cuts solver config (baselines)
 //
 // Both modes additionally accept the shared observability flags
 // (bench_common.h): --run-store=FILE appends a `pdw-run-1` record for
@@ -50,12 +51,26 @@ std::string g_engine;  // NOLINT(runtime/string)
 /// --flight-out was given).
 obs::FlightConfig g_flight;
 
+/// --no-cuts: run every solve with the pre-cuts solver configuration (root
+/// cutting planes, probing presolve, coefficient tightening and pseudocost
+/// branching all off). Used to record the frozen "pre-cuts" baseline label
+/// the cut series is measured against.
+bool g_no_cuts = false;
+
+void applyPreCuts(ilp::SolveParams* p) {
+  p->cuts.enabled = false;
+  p->probing = false;
+  p->coef_tightening = false;
+  p->branch_rule = ilp::BranchRule::MostFractional;
+}
+
 ilp::SolveParams benchParams() {
   ilp::SolveParams p;
   p.engine = g_engine;
   p.time_limit_seconds = 5.0;  // best-effort cap per solve
   p.log_progress = false;
   p.flight = g_flight;
+  if (g_no_cuts) applyPreCuts(&p);
   return p;
 }
 
@@ -216,6 +231,10 @@ BenchRecord runPipelineBenchmark(assay::BenchmarkId id) {
   options.withEngine(g_engine);
   options.solver.schedule.flight = g_flight;
   options.solver.path.flight = g_flight;
+  if (g_no_cuts) {
+    applyPreCuts(&options.solver.schedule);
+    applyPreCuts(&options.solver.path);
+  }
   options.num_threads = 1;  // sequential: canonical-lane solver numbers only
   Pipeline pipeline(options);
   const PdwResult result = pipeline.run(base.schedule);
@@ -380,6 +399,8 @@ int main(int argc, char** argv) {
       g_engine = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--no-cuts") {
+      g_no_cuts = true;
     } else {
       bench_args.push_back(argv[i]);
     }

@@ -58,6 +58,10 @@ void printUsage() {
       "                     (default) | dense (tableau oracle)\n"
       "  --threads N        execution lanes (default 0 = hardware\n"
       "                     concurrency; results are identical for any N)\n"
+      "  --cuts MODE        root cutting planes for both ILP stages:\n"
+      "                     on (default) | off | gomory | cover (enable one\n"
+      "                     separator family only; perf/ablation knob,\n"
+      "                     plans are identical either way)\n"
       "  --no-type1|2|3     disable a necessity exemption (ablation)\n"
       "  --no-integration   disable removal integration\n"
       "  --no-ilp-paths     BFS wash paths instead of the ILP\n"
@@ -144,6 +148,18 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       const auto value = value_of(i);
       if (!value) return std::nullopt;
       options.pdw.withEngine(*value);
+    } else if (arg == "--cuts") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      if (*value == "on") options.pdw.withCuts(true);
+      else if (*value == "off") options.pdw.withCuts(false);
+      else if (*value == "gomory") options.pdw.withCuts(true, false);
+      else if (*value == "cover") options.pdw.withCuts(false, true);
+      else {
+        std::cerr << "unknown --cuts mode '" << *value
+                  << "' (on|off|gomory|cover)\n";
+        return std::nullopt;
+      }
     } else if (arg == "--threads") {
       const auto value = value_of(i);
       if (!value) return std::nullopt;

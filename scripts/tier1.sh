@@ -6,8 +6,10 @@
 # registry by obs_check --flight), an ILP perf smoke (bench_ilp_solver
 # --quick writing both a pdw-bench-1 JSON and a pdw-run-1 run-store record,
 # gated by tools/pdw_report against the committed BENCH_ilp.json baseline;
-# obs_check --bench still schema-validates and requires warm hits), the ILP
-# numerics tests under ASan+UBSan, then the parallel-runtime + obs tests
+# obs_check --bench still schema-validates and requires warm hits), a
+# root-cut reconciliation (the same bench run's flight stream must report
+# exactly ilp.cuts.added canonical cut_added events), the ILP numerics
+# tests under ASan+UBSan, then the parallel-runtime + obs tests
 # (determinism, route cache, tracing/metrics/logging) under
 # ThreadSanitizer.
 #
@@ -49,11 +51,22 @@ echo "== tier-1: ILP perf smoke (bench_ilp_solver --quick + pdw_report) =="
 # run-store record; pdw_report gates wall time + simplex iterations on the
 # rows shared with the committed perf baseline (exit 1 = regression).
 ./build/bench/bench_ilp_solver --json-out="$obs_dir/bench.json" \
-  --run-store="$obs_dir/runs.jsonl" --label tier1-smoke --quick
+  --run-store="$obs_dir/runs.jsonl" --label tier1-smoke --quick \
+  --flight-out "$obs_dir/bench_flight.jsonl" \
+  --metrics-out "$obs_dir/bench_metrics.json"
 ./build/tools/obs_check --bench "$obs_dir/bench.json" --expect-warm-hits \
   --expect-engine revised
 ./build/tools/pdw_report --store "$obs_dir/runs.jsonl" --label tier1-smoke \
   --against BENCH_ilp.json --max-regression 10% --min-wall 0.05
+
+echo "== tier-1: root-cut reconciliation (bench flight vs registry) =="
+# Cuts are on by default in the quick bench above; the root separation loop
+# records one cut_added flight event per materialized cut into the
+# canonical lane, and obs_check asserts the stream's canonical cut_added
+# total equals the registry's ilp.cuts.added counter exactly (alongside the
+# node_open / warm_miss reconciliations).
+./build/tools/obs_check --flight "$obs_dir/bench_flight.jsonl" \
+  --metrics "$obs_dir/bench_metrics.json"
 
 if [[ "${PDW_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== tier-1: ASan/UBSan stage skipped (PDW_SKIP_ASAN=1) =="

@@ -96,6 +96,23 @@ struct SolverConfig {
     return *this;
   }
 
+  /// Toggle the root cutting-plane loop (ilp/cuts.h) in both ILP stages.
+  /// The two-argument form additionally switches individual separator
+  /// families (Gomory mixed-integer / knapsack cover) while leaving the
+  /// master switch on. Cuts never change the optimum — only the size of
+  /// the branch-and-bound tree — so this is a perf/ablation knob.
+  SolverConfig& withCuts(bool enabled) {
+    schedule.cuts.enabled = enabled;
+    path.cuts.enabled = enabled;
+    return *this;
+  }
+  SolverConfig& withCuts(bool gomory, bool cover) {
+    schedule.cuts.enabled = path.cuts.enabled = gomory || cover;
+    schedule.cuts.gomory = path.cuts.gomory = gomory;
+    schedule.cuts.cover = path.cuts.cover = cover;
+    return *this;
+  }
+
   /// Enable the solver flight recorder (obs/flight.h) in both ILP stages.
   /// Applies one FlightConfig to every branch-and-bound lane: events are
   /// recorded per lane and dumped as `pdw-flight-1` JSONL to
@@ -183,6 +200,16 @@ struct PdwOptions {
   /// branch-and-bound node cap). Suppresses the facade's default budget.
   PdwOptions& withScheduleBudget(double seconds, std::int64_t nodes = 0) {
     solver.withScheduleBudget(seconds, nodes);
+    return *this;
+  }
+
+  /// Toggle root cutting planes for both ILP stages (see SolverConfig).
+  PdwOptions& withCuts(bool enabled) {
+    solver.withCuts(enabled);
+    return *this;
+  }
+  PdwOptions& withCuts(bool gomory, bool cover) {
+    solver.withCuts(gomory, cover);
     return *this;
   }
 

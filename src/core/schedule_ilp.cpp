@@ -121,6 +121,13 @@ class Builder {
     result.stats.warm_misses += full.stats.warm_misses;
     result.stats.dual_pivots += full.stats.dual_pivots;
     result.stats.rc_fixed += full.stats.rc_fixed;
+    result.stats.cuts_added += full.stats.cuts_added;
+    result.stats.cuts_gomory += full.stats.cuts_gomory;
+    result.stats.cuts_cover += full.stats.cuts_cover;
+    result.stats.cuts_gomory_active += full.stats.cuts_gomory_active;
+    result.stats.cuts_cover_active += full.stats.cuts_cover_active;
+    result.stats.cuts_evicted += full.stats.cuts_evicted;
+    result.stats.cut_rounds += full.stats.cut_rounds;
     if (full.hasSolution() &&
         (!best.hasSolution() || full.objective < best.objective)) {
       best = full;

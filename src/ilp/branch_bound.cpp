@@ -8,6 +8,7 @@
 #include <queue>
 #include <thread>
 
+#include "ilp/cuts.h"
 #include "ilp/lp_backend.h"
 #include "ilp/simplex.h"
 #include "obs/flight.h"
@@ -41,8 +42,19 @@ void recordMipSolve(const Solution& result, double wall_seconds) {
   static obs::Counter& dual_pivots = reg.counter(names::kSimplexDualPivots);
   static obs::Counter& refactorizations =
       reg.counter(names::kSimplexRefactorizations);
+  static obs::Counter& cuts_added = reg.counter(names::kCutsAdded);
+  static obs::Counter& cuts_gomory = reg.counter(names::kCutsGomory);
+  static obs::Counter& cuts_cover = reg.counter(names::kCutsCover);
+  static obs::Counter& cuts_active = reg.counter(names::kCutsActive);
+  static obs::Counter& cuts_evicted = reg.counter(names::kCutsEvicted);
   static obs::Histogram& seconds = reg.histogram(names::kSolveSeconds);
   solves.increment();
+  cuts_added.add(result.stats.cuts_added);
+  cuts_gomory.add(result.stats.cuts_gomory);
+  cuts_cover.add(result.stats.cuts_cover);
+  cuts_active.add(result.stats.cuts_gomory_active +
+                  result.stats.cuts_cover_active);
+  cuts_evicted.add(result.stats.cuts_evicted);
   nodes.add(result.stats.nodes_explored);
   diver_nodes.add(result.stats.portfolio_nodes);
   if (result.stats.race_certified) certified.increment();
@@ -71,6 +83,13 @@ struct Node {
   /// fix arena); they bind the whole subtree.
   int extra_begin = 0;
   int extra_count = 0;
+  /// Pseudocost bookkeeping: which branch direction created this node and
+  /// how far the parent's LP value was from the bound imposed (f for the
+  /// down child, 1-f for the up child). When the node's own LP solves, the
+  /// observed bound degradation divided by this distance updates `var`'s
+  /// pseudocost in that direction.
+  bool up_branch = false;
+  double branch_dist = 0.0;
 };
 
 struct QueueEntry {
@@ -120,9 +139,14 @@ enum class Strategy {
 
 class BranchAndBound {
  public:
+  /// `external_flight`, when non-null, is a caller-owned recorder this lane
+  /// records into instead of constructing its own — solveMip uses it to keep
+  /// the root separation loop's cut events and the canonical search in one
+  /// dump block. It must outlive the BranchAndBound.
   BranchAndBound(const Model& model, const SolveParams& params,
                  Strategy strategy = Strategy::BestBound,
-                 RaceState* race = nullptr)
+                 RaceState* race = nullptr,
+                 obs::FlightRecorder* external_flight = nullptr)
       : model_(model),
         params_(params),
         strategy_(strategy),
@@ -131,10 +155,20 @@ class BranchAndBound {
         start_(Clock::now()) {
     for (VarId v = 0; v < model.numVars(); ++v)
       if (model.var(v).type != VarType::Continuous) integer_vars_.push_back(v);
-    if (params.flight.enabled) {
-      flight_ = std::make_unique<obs::FlightRecorder>(
+    if (external_flight != nullptr) {
+      flight_ = external_flight;
+    } else if (params.flight.enabled) {
+      flight_owned_ = std::make_unique<obs::FlightRecorder>(
           params.flight, canonical() ? "canonical" : "diver");
-      engine_->setFlightRecorder(flight_.get());
+      flight_ = flight_owned_.get();
+    }
+    if (flight_) engine_->setFlightRecorder(flight_);
+    if (params.branch_rule == BranchRule::Pseudocost) {
+      const std::size_t n = static_cast<std::size_t>(model.numVars());
+      pc_sum_[0].assign(n, 0.0);
+      pc_sum_[1].assign(n, 0.0);
+      pc_count_[0].assign(n, 0);
+      pc_count_[1].assign(n, 0);
     }
   }
 
@@ -279,6 +313,23 @@ class BranchAndBound {
         continue;
       }
 
+      // Pseudocost learning: this node's LP bound degradation relative to
+      // its parent, normalized by the fractional distance its branch
+      // imposed. Updated before any pruning so pruned nodes teach too.
+      if (params_.branch_rule == BranchRule::Pseudocost && entry.node != 0) {
+        const Node& node = nodes_[static_cast<std::size_t>(entry.node)];
+        if (node.var >= 0 && node.branch_dist > 1e-9 &&
+            std::isfinite(node.bound)) {
+          const int dir = node.up_branch ? 1 : 0;
+          const double degradation =
+              std::max(0.0, lp.objective - node.bound) / node.branch_dist;
+          pc_sum_[dir][static_cast<std::size_t>(node.var)] += degradation;
+          ++pc_count_[dir][static_cast<std::size_t>(node.var)];
+          pc_total_[dir] += degradation;
+          ++pc_observations_[dir];
+        }
+      }
+
       if (lp.objective >= pruneBound() - absTol()) {
         if (flight_)
           flight_->record(obs::FlightEventKind::NodePruned, entry.node,
@@ -312,11 +363,14 @@ class BranchAndBound {
         flight_->record(obs::FlightEventKind::NodeBranched, entry.node,
                         static_cast<double>(branch_var), value);
       const double floor_value = std::floor(value + params_.integrality_tol);
+      const double frac =
+          std::min(1.0, std::max(0.0, value - floor_value));
       pushChild(entry.node, branch_var,
                 lower_[static_cast<std::size_t>(branch_var)], floor_value,
-                lp.objective);
+                lp.objective, frac, /*up_branch=*/false);
       pushChild(entry.node, branch_var, floor_value + 1.0,
-                upper_[static_cast<std::size_t>(branch_var)], lp.objective);
+                upper_[static_cast<std::size_t>(branch_var)], lp.objective,
+                1.0 - frac, /*up_branch=*/true);
     }
 
     // Sound certificate for the racing canonical search: the diver pruned
@@ -511,10 +565,19 @@ class BranchAndBound {
     stats_.rc_fixed += static_cast<std::int64_t>(fix_buffer_.size());
   }
 
-  /// Most-fractional branching: the integer variable whose LP value is
-  /// farthest from the nearest integer. Returns -1 when the LP point is
-  /// integral within tolerance.
+  /// Branch-variable selection per params_.branch_rule. Returns -1 when the
+  /// LP point is integral within tolerance. Pseudocost mode falls back to
+  /// most-fractional until at least one degradation has been observed.
   VarId pickBranchVariable(const std::vector<double>& values) const {
+    if (params_.branch_rule == BranchRule::Pseudocost &&
+        (pc_observations_[0] > 0 || pc_observations_[1] > 0))
+      return pickPseudocost(values);
+    return pickMostFractional(values);
+  }
+
+  /// Most-fractional branching: the integer variable whose LP value is
+  /// farthest from the nearest integer (the pre-PR-6 rule).
+  VarId pickMostFractional(const std::vector<double>& values) const {
     VarId best = -1;
     double best_frac = params_.integrality_tol;
     for (VarId v : integer_vars_) {
@@ -522,6 +585,47 @@ class BranchAndBound {
       const double frac = std::abs(value - std::round(value));
       if (frac > best_frac) {
         best_frac = frac;
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  /// Product-rule pseudocost branching: score each fractional variable by
+  /// the product of its estimated down and up LP-bound degradations, using
+  /// the direction's global average for variables without history. Strictly
+  /// greater score wins and integer_vars_ is scanned in ascending id order,
+  /// so ties resolve to the smallest variable id — deterministic.
+  VarId pickPseudocost(const std::vector<double>& values) const {
+    const double avg_down = pc_observations_[0] > 0
+                                ? pc_total_[0] / static_cast<double>(
+                                                     pc_observations_[0])
+                                : 1.0;
+    const double avg_up = pc_observations_[1] > 0
+                              ? pc_total_[1] / static_cast<double>(
+                                                   pc_observations_[1])
+                              : 1.0;
+    VarId best = -1;
+    double best_score = -1.0;
+    for (VarId v : integer_vars_) {
+      const std::size_t vi = static_cast<std::size_t>(v);
+      const double value = values[vi];
+      if (std::abs(value - std::round(value)) <= params_.integrality_tol)
+        continue;
+      const double f_down = value - std::floor(value);
+      const double f_up = 1.0 - f_down;
+      const double pcd =
+          pc_count_[0][vi] > 0
+              ? pc_sum_[0][vi] / static_cast<double>(pc_count_[0][vi])
+              : avg_down;
+      const double pcu =
+          pc_count_[1][vi] > 0
+              ? pc_sum_[1][vi] / static_cast<double>(pc_count_[1][vi])
+              : avg_up;
+      const double score =
+          std::max(1e-6, f_down * pcd) * std::max(1e-6, f_up * pcu);
+      if (score > best_score) {
+        best_score = score;
         best = v;
       }
     }
@@ -556,7 +660,7 @@ class BranchAndBound {
   }
 
   void pushChild(int parent, VarId var, double lower, double upper,
-                 double bound) {
+                 double bound, double branch_dist, bool up_branch) {
     if (lower > upper + 1e-9) return;  // empty branch
     Node node;
     node.parent = parent;
@@ -565,6 +669,8 @@ class BranchAndBound {
     node.upper = upper;
     node.bound = bound;
     node.depth = nodes_[static_cast<std::size_t>(parent)].depth + 1;
+    node.branch_dist = branch_dist;
+    node.up_branch = up_branch;
     nodes_.push_back(node);
     on_path_.push_back(0);
     pushOpen(QueueEntry{bound, static_cast<int>(nodes_.size()) - 1});
@@ -574,9 +680,11 @@ class BranchAndBound {
   const SolveParams& params_;
   Strategy strategy_;
   RaceState* race_;
-  /// Declared before engine_ so it outlives the backend holding a raw
-  /// pointer to it (members destroy in reverse declaration order).
-  std::unique_ptr<obs::FlightRecorder> flight_;
+  /// Declared before engine_ so an owned recorder outlives the backend
+  /// holding a raw pointer to it (members destroy in reverse declaration
+  /// order). flight_ aliases flight_owned_ or the caller's recorder.
+  std::unique_ptr<obs::FlightRecorder> flight_owned_;
+  obs::FlightRecorder* flight_ = nullptr;
   std::unique_ptr<LpBackend> engine_;  ///< selected via params.engine
   Clock::time_point start_;
 
@@ -600,6 +708,14 @@ class BranchAndBound {
   double incumbent_obj_ = kInfinity;
   bool has_incumbent_ = false;
   bool certified_ = false;
+
+  /// Per-variable pseudocosts, indexed [direction][var] with direction
+  /// 0 = down, 1 = up: running sum of per-unit LP-bound degradations and
+  /// the number of observations. Empty unless BranchRule::Pseudocost.
+  std::vector<double> pc_sum_[2];
+  std::vector<std::int64_t> pc_count_[2];
+  std::int64_t pc_observations_[2] = {0, 0};
+  double pc_total_[2] = {0.0, 0.0};
 
   SolveStats stats_;
 };
@@ -638,6 +754,48 @@ Solution solveMip(const Model& model, const SolveParams& params) {
     return result;
   }
 
+  // The canonical lane's flight recorder is constructed up front so the
+  // root separation loop's cut events and the canonical search land in one
+  // dump block (obs_check reconciles cut_added against ilp.cuts.added).
+  std::unique_ptr<obs::FlightRecorder> canonical_flight;
+  if (params.flight.enabled)
+    canonical_flight =
+        std::make_unique<obs::FlightRecorder>(params.flight, "canonical");
+
+  // Root cutting planes, separated once on an augmented copy of the model
+  // before any lane starts: both lanes inherit the same cut rows as
+  // ordinary constraints, so the warm-start contract inside each lane is
+  // untouched and the canonical assignment stays deterministic.
+  Model augmented;
+  const Model* search_model = &model;
+  CutStats cut_stats;
+  if (params.cuts.enabled) {
+    std::vector<double> check_point;
+    if (params.warm_start.size() ==
+        static_cast<std::size_t>(model.numVars())) {
+      std::vector<double> warm = params.warm_start;
+      for (VarId v = 0; v < model.numVars(); ++v)
+        if (model.var(v).type != VarType::Continuous)
+          warm[static_cast<std::size_t>(v)] =
+              std::round(warm[static_cast<std::size_t>(v)]);
+      if (model.isFeasible(warm, 1e-5)) check_point = std::move(warm);
+    }
+    PDW_TRACE_SPAN("ilp", "root_cuts");
+    augmented = model;
+    cut_stats = separateRootCuts(augmented, params, check_point,
+                                 canonical_flight.get());
+    search_model = &augmented;
+  }
+  const auto mergeCutStats = [&cut_stats](Solution& r) {
+    r.stats.cuts_added = cut_stats.added;
+    r.stats.cuts_gomory = cut_stats.gomory;
+    r.stats.cuts_cover = cut_stats.cover;
+    r.stats.cuts_gomory_active = cut_stats.gomory_active;
+    r.stats.cuts_cover_active = cut_stats.cover_active;
+    r.stats.cuts_evicted = cut_stats.evicted;
+    r.stats.cut_rounds = cut_stats.rounds;
+  };
+
   if (params.portfolio_threads >= 2) {
     // Portfolio race: canonical best-bound search on this thread, a
     // depth-first diver on a second one. The diver feeds the shared
@@ -649,13 +807,14 @@ Solution solveMip(const Model& model, const SolveParams& params) {
     std::thread diver([&] {
       obs::setThreadName("pdw-diver");
       PDW_TRACE_SPAN("ilp", "diver_lane");
-      BranchAndBound d(model, params, Strategy::DepthFirst, &race);
+      BranchAndBound d(*search_model, params, Strategy::DepthFirst, &race);
       diver_result = d.run();
     });
     Solution result;
     {
       PDW_TRACE_SPAN("ilp", "canonical_lane");
-      BranchAndBound canonical(model, params, Strategy::BestBound, &race);
+      BranchAndBound canonical(*search_model, params, Strategy::BestBound,
+                               &race, canonical_flight.get());
       result = canonical.run();
     }
     race.cancel.store(true, std::memory_order_release);
@@ -670,6 +829,7 @@ Solution solveMip(const Model& model, const SolveParams& params) {
       result.status = SolveStatus::Optimal;
       result.stats.race_certified = true;
     }
+    mergeCutStats(result);
     recordMipSolve(result, wallSeconds());
     return result;
   }
@@ -677,9 +837,11 @@ Solution solveMip(const Model& model, const SolveParams& params) {
   Solution result;
   {
     PDW_TRACE_SPAN("ilp", "canonical_lane");
-    BranchAndBound solver(model, params);
+    BranchAndBound solver(*search_model, params, Strategy::BestBound, nullptr,
+                          canonical_flight.get());
     result = solver.run();
   }
+  mergeCutStats(result);
   recordMipSolve(result, wallSeconds());
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "ilp/basis_lu.h"
 #include "obs/flight.h"
 
 namespace pdw::ilp {
@@ -687,6 +688,135 @@ void SimplexEngine::collectReducedCostFixes(double gap, double integrality_tol,
     if (std::abs(value - std::round(value)) > integrality_tol) continue;
     out->push_back(Fix{var, std::round(value)});
   }
+}
+
+bool SimplexEngine::tableauRow(VarId var, TableauRowView* out) const {
+  const int n = model_.numVars();
+  const int m = form_.num_rows;
+  if (!ready_ || out == nullptr || var < 0 || var >= n) return false;
+  assert(m == num_rows_);
+
+  // Map each basic tableau column to its canonical column. Artificial
+  // columns have no canonical counterpart, and a free-split variable with
+  // both halves basic would map one canonical column twice; either case
+  // aborts the extraction (the separator skips the variable).
+  std::vector<int> slack_row(static_cast<std::size_t>(num_cols_), -1);
+  for (int r = 0; r < m; ++r) {
+    const int sc = form_.slack_col[static_cast<std::size_t>(r)];
+    if (sc >= 0) slack_row[static_cast<std::size_t>(sc)] = r;
+  }
+  const int total = n + m;
+  std::vector<int> canon_basis(static_cast<std::size_t>(m), -1);
+  std::vector<char> is_canon_basic(static_cast<std::size_t>(total), 0);
+  int pos = -1;
+  for (int i = 0; i < num_rows_; ++i) {
+    const int c = basis_[static_cast<std::size_t>(i)];
+    const StandardForm::Column& info =
+        form_.columns[static_cast<std::size_t>(c)];
+    int canon = -1;
+    if (info.artificial) return false;
+    if (info.model_var >= 0) {
+      // Either half of a free split represents the same model variable; the
+      // canonical basis is equally nonsingular with the +1-signed column.
+      canon = info.model_var;
+    } else {
+      const int r = slack_row[static_cast<std::size_t>(c)];
+      if (r < 0) return false;
+      canon = n + r;
+    }
+    if (is_canon_basic[static_cast<std::size_t>(canon)]) return false;
+    is_canon_basic[static_cast<std::size_t>(canon)] = 1;
+    canon_basis[static_cast<std::size_t>(i)] = canon;
+    if (canon == var) pos = i;
+  }
+  if (pos < 0) return false;  // `var` is nonbasic at this optimum
+
+  if (!canon_csc_built_) {
+    canon_csc_ = StandardForm::buildStructuralCsc(model_);
+    canon_csc_built_ = true;
+  }
+
+  // Factorize the canonical basis (structural columns from the CSC, slack
+  // columns are unit vectors); one BTRAN with e_pos yields row `pos` of
+  // B^{-1}, indexed by constraint row.
+  std::vector<BasisLu::SparseColumn> cols(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const int canon = canon_basis[static_cast<std::size_t>(i)];
+    BasisLu::SparseColumn& col = cols[static_cast<std::size_t>(i)];
+    if (canon < n) {
+      for (int k = canon_csc_.col_start[static_cast<std::size_t>(canon)];
+           k < canon_csc_.col_start[static_cast<std::size_t>(canon) + 1]; ++k)
+        col.emplace_back(canon_csc_.row_index[static_cast<std::size_t>(k)],
+                         canon_csc_.value[static_cast<std::size_t>(k)]);
+    } else {
+      col.emplace_back(canon - n, 1.0);
+    }
+  }
+  BasisLu lu;
+  if (!lu.factor(m, cols)) return false;
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  y[static_cast<std::size_t>(pos)] = 1.0;
+  lu.btran(y);
+
+  // Current point in canonical space: model values unwound from the
+  // tableau, slack values from the row activities.
+  const std::vector<double> xv = extractValues();
+  std::vector<double> xs(static_cast<std::size_t>(m), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const Constraint& con = model_.constraint(r);
+    xs[static_cast<std::size_t>(r)] = con.rhs - con.expr.evaluate(xv);
+  }
+
+  out->coeff.assign(static_cast<std::size_t>(total), 0.0);
+  out->status.assign(static_cast<std::size_t>(total), ColStatus::Basic);
+  out->lower.resize(static_cast<std::size_t>(total));
+  out->upper.resize(static_cast<std::size_t>(total));
+  double rhs = xv[static_cast<std::size_t>(var)];
+  for (int j = 0; j < total; ++j) {
+    double lo, up, value;
+    if (j < n) {
+      lo = cur_lower_[static_cast<std::size_t>(j)];
+      up = cur_upper_[static_cast<std::size_t>(j)];
+      value = xv[static_cast<std::size_t>(j)];
+    } else {
+      const Sense sense = model_.constraint(j - n).sense;
+      lo = sense == Sense::LessEqual ? 0.0
+           : sense == Sense::Equal   ? 0.0
+                                     : -kInfinity;
+      up = sense == Sense::GreaterEqual ? 0.0
+           : sense == Sense::Equal      ? 0.0
+                                        : kInfinity;
+      value = xs[static_cast<std::size_t>(j - n)];
+    }
+    out->lower[static_cast<std::size_t>(j)] = lo;
+    out->upper[static_cast<std::size_t>(j)] = up;
+    if (is_canon_basic[static_cast<std::size_t>(j)]) continue;
+    double a;
+    if (j < n) {
+      a = 0.0;
+      for (int k = canon_csc_.col_start[static_cast<std::size_t>(j)];
+           k < canon_csc_.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        a += y[static_cast<std::size_t>(
+                canon_csc_.row_index[static_cast<std::size_t>(k)])] *
+             canon_csc_.value[static_cast<std::size_t>(k)];
+    } else {
+      a = y[static_cast<std::size_t>(j - n)];
+    }
+    out->coeff[static_cast<std::size_t>(j)] = a;
+    rhs += a * value;
+    const double tol = 1e-6 * (1.0 + std::abs(value));
+    if (up - lo < kEps || std::abs(value - lo) <= tol) {
+      out->status[static_cast<std::size_t>(j)] = ColStatus::AtLower;
+    } else if (std::abs(value - up) <= tol) {
+      out->status[static_cast<std::size_t>(j)] = ColStatus::AtUpper;
+    } else if (!std::isfinite(lo) && !std::isfinite(up)) {
+      out->status[static_cast<std::size_t>(j)] = ColStatus::Free;
+    } else {
+      return false;  // nonbasic resting strictly inside its bounds
+    }
+  }
+  out->rhs = rhs;
+  return true;
 }
 
 }  // namespace pdw::ilp

@@ -74,6 +74,16 @@ class SimplexEngine final : public LpBackend {
   void collectReducedCostFixes(double gap, double integrality_tol,
                                std::vector<Fix>* out) const override;
 
+  /// Canonical-space tableau row, reconstructed from the basis membership
+  /// rather than the internal tableau: the dense column layout (free splits,
+  /// complement flips, shifts, sign-flipped rows) never leaks out. Each
+  /// basic tableau column is mapped to its canonical column (model variable
+  /// or row slack), the canonical basis is factorized with BasisLu, and one
+  /// BTRAN yields the row. Returns false on any mapping ambiguity (basic
+  /// artificial, both halves of a free split basic, a nonbasic column
+  /// resting away from its bounds) — the separator just skips the variable.
+  bool tableauRow(VarId var, TableauRowView* out) const override;
+
   const char* name() const override { return "dense"; }
 
   void setFlightRecorder(obs::FlightRecorder* recorder) override {
@@ -144,6 +154,11 @@ class SimplexEngine final : public LpBackend {
   /// whether the row was sign-flipped, and the post-flip slack coefficient.
   std::vector<char> debug_flip_;
   std::vector<double> debug_slack_sign_;
+
+  /// Lazily built structural CSC over model variables, used only by
+  /// tableauRow()'s canonical-basis reconstruction.
+  mutable StandardForm::Csc canon_csc_;
+  mutable bool canon_csc_built_ = false;
 
   bool has_artificials_ = false;
   bool ready_ = false;

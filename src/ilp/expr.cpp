@@ -21,6 +21,27 @@ void LinExpr::add(VarId var, double coeff) {
   normalize();
 }
 
+double LinExpr::coefficient(VarId var) const {
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const auto& term, VarId v) { return term.first < v; });
+  return it != terms_.end() && it->first == var ? it->second : 0.0;
+}
+
+void LinExpr::setCoefficient(VarId var, double coeff) {
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const auto& term, VarId v) { return term.first < v; });
+  if (it != terms_.end() && it->first == var) {
+    if (coeff == 0.0)
+      terms_.erase(it);
+    else
+      it->second = coeff;
+  } else if (coeff != 0.0) {
+    terms_.insert(it, {var, coeff});
+  }
+}
+
 LinExpr& LinExpr::operator+=(const LinExpr& other) {
   constant_ += other.constant_;
   terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());

@@ -53,6 +53,14 @@ class LinExpr {
   /// Add `coeff * var` to the expression.
   void add(VarId var, double coeff);
 
+  /// Coefficient of `var` (0 when absent). Binary search over the sorted
+  /// terms.
+  double coefficient(VarId var) const;
+
+  /// Set the coefficient of `var` to exactly `coeff` (removing the term when
+  /// coeff == 0). Used by presolve coefficient strengthening.
+  void setCoefficient(VarId var, double coeff);
+
   double constant() const { return constant_; }
   void setConstant(double c) { constant_ = c; }
 

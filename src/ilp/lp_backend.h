@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ilp/types.h"
@@ -44,6 +45,37 @@ class LpBackend {
   struct Fix {
     VarId var = -1;
     double value = 0.0;
+  };
+
+  /// Where a canonical column sits in the basis the backend last solved
+  /// with. The canonical column space is shared by both engines: columns
+  /// 0..n-1 are the model variables, column n+r is the slack of constraint
+  /// row r defined by `a_r . x + s_r = rhs_r` (so s_r >= 0 for LessEqual,
+  /// s_r <= 0 for GreaterEqual, s_r == 0 for Equal rows).
+  enum class ColStatus : std::uint8_t { Basic, AtLower, AtUpper, Free };
+
+  /// One row of the optimal simplex tableau in the canonical column space,
+  /// extracted by tableauRow(). The equation
+  ///
+  ///   x_var + sum_j coeff[j] * col_j = rhs        (j over nonbasic columns)
+  ///
+  /// holds for every point satisfying the constraint rows, which is what a
+  /// Gomory derivation needs. `coeff` entries of basic columns are zeroed;
+  /// `lower`/`upper` carry the bounds of every canonical column under the
+  /// engine's current load (slack bounds come from the row sense).
+  struct TableauRowView {
+    std::vector<double> coeff;
+    std::vector<ColStatus> status;
+    std::vector<double> lower, upper;
+    double rhs = 0.0;
+  };
+
+  /// A cut row to append to the engine: `terms . x (sense) rhs`. Terms are
+  /// sorted by VarId with duplicates merged (LinExpr discipline).
+  struct CutRow {
+    std::vector<std::pair<VarId, double>> terms;
+    Sense sense = Sense::LessEqual;
+    double rhs = 0.0;
   };
 
   virtual ~LpBackend() = default;
@@ -72,6 +104,29 @@ class LpBackend {
   /// a solve that returned Optimal.
   virtual void collectReducedCostFixes(double gap, double integrality_tol,
                                        std::vector<Fix>* out) const = 0;
+
+  /// Extract the optimal-tableau row of the *basic* model variable `var`
+  /// into `out` (see TableauRowView). Only meaningful immediately after a
+  /// solve that returned Optimal. Returns false when `var` is nonbasic, the
+  /// backend holds no optimal basis, or extraction is not supported — the
+  /// Gomory separator just skips the variable then.
+  virtual bool tableauRow(VarId var, TableauRowView* out) const {
+    (void)var;
+    (void)out;
+    return false;
+  }
+
+  /// Append cut rows to the engine *without* rebuilding its standard form:
+  /// each row arrives with its slack basic, so the current basis stays
+  /// valid and dual-feasible and the next `solve(..., allow_warm=true)`
+  /// re-optimizes with the dual simplex from it (the classic cut-loop warm
+  /// start). Returns false when the backend does not support incremental
+  /// rows — the separation loop then rebuilds a fresh backend over the
+  /// augmented model and cold-solves, which is slower but identical.
+  virtual bool addCutRows(const std::vector<CutRow>& rows) {
+    (void)rows;
+    return false;
+  }
 
   /// Registry name of this backend ("revised", "dense", ...).
   virtual const char* name() const = 0;

@@ -69,6 +69,14 @@ void Model::setBounds(VarId var, double lower, double upper) {
   v.upper = upper;
 }
 
+void Model::setConstraintCoefficient(ConstraintId c, VarId var, double coeff) {
+  constraints_[static_cast<std::size_t>(c)].expr.setCoefficient(var, coeff);
+}
+
+void Model::setConstraintRhs(ConstraintId c, double rhs) {
+  constraints_[static_cast<std::size_t>(c)].rhs = rhs;
+}
+
 int Model::removeConstraints(const std::vector<char>& remove) {
   assert(remove.size() == constraints_.size());
   std::size_t kept = 0;

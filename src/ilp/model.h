@@ -65,6 +65,14 @@ class Model {
   /// Tighten a variable's bounds (used for branching and warm fixes).
   void setBounds(VarId var, double lower, double upper);
 
+  /// Rewrite one coefficient of a constraint (coeff == 0 removes the term).
+  /// Used by presolve coefficient strengthening, which must only apply
+  /// changes that keep the integer solution set identical.
+  void setConstraintCoefficient(ConstraintId c, VarId var, double coeff);
+
+  /// Rewrite a constraint's right-hand side (companion of the above).
+  void setConstraintRhs(ConstraintId c, double rhs);
+
   /// Remove the constraints whose index has `remove[id] != 0`. Survivors
   /// keep their relative order and are renumbered compactly, so previously
   /// held ConstraintIds are invalidated. Used by presolve to drop rows

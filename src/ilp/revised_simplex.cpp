@@ -818,6 +818,139 @@ LpStatus RevisedSimplex::primalIterate() {
   }
 }
 
+bool RevisedSimplex::tableauRow(VarId var, TableauRowView* out) const {
+  if (!ready_ || var < 0 || var >= n_) return false;
+  const int pos = pos_of_[static_cast<std::size_t>(var)];
+  if (pos < 0) return false;
+
+  pivotRow(pos, &rho_, &row_);
+  out->coeff.assign(static_cast<std::size_t>(total_), 0.0);
+  out->status.resize(static_cast<std::size_t>(total_));
+  out->lower.resize(static_cast<std::size_t>(total_));
+  out->upper.resize(static_cast<std::size_t>(total_));
+
+  // The row equation x_var + sum_j a_j x_j = rhs must hold identically over
+  // the row space, so the constant is recovered from the *current* point:
+  // nonbasic columns rest exactly at x_.
+  double rhs = x_[static_cast<std::size_t>(var)];
+  for (int j = 0; j < total_; ++j) {
+    out->lower[static_cast<std::size_t>(j)] = lb_[static_cast<std::size_t>(j)];
+    out->upper[static_cast<std::size_t>(j)] = ub_[static_cast<std::size_t>(j)];
+    if (pos_of_[static_cast<std::size_t>(j)] >= 0) {
+      out->status[static_cast<std::size_t>(j)] = ColStatus::Basic;
+      continue;
+    }
+    switch (vstat_[static_cast<std::size_t>(j)]) {
+      case VStat::Lower:
+        out->status[static_cast<std::size_t>(j)] = ColStatus::AtLower;
+        break;
+      case VStat::Upper:
+        out->status[static_cast<std::size_t>(j)] = ColStatus::AtUpper;
+        break;
+      default:
+        out->status[static_cast<std::size_t>(j)] = ColStatus::Free;
+        break;
+    }
+    const double a = row_[static_cast<std::size_t>(j)];
+    out->coeff[static_cast<std::size_t>(j)] = a;
+    if (a != 0.0) rhs += a * x_[static_cast<std::size_t>(j)];
+  }
+  out->rhs = rhs;
+  return true;
+}
+
+bool RevisedSimplex::addCutRows(const std::vector<CutRow>& rows) {
+  if (rows.empty()) return true;
+  const int added = static_cast<int>(rows.size());
+  const int old_m = m_;
+
+  for (const CutRow& row : rows) {
+    rhs_.push_back(row.rhs);
+    switch (row.sense) {
+      case Sense::LessEqual:
+        slack_lb_.push_back(0.0);
+        slack_ub_.push_back(kInfinity);
+        break;
+      case Sense::GreaterEqual:
+        slack_lb_.push_back(-kInfinity);
+        slack_ub_.push_back(0.0);
+        break;
+      case Sense::Equal:
+        slack_lb_.push_back(0.0);
+        slack_ub_.push_back(0.0);
+        break;
+    }
+  }
+
+  // Extend the CSC: per-column new entries arrive in ascending row order
+  // (cut k lands on row old_m + k), so appending them after each column's
+  // existing entries keeps rows sorted within columns.
+  std::vector<std::vector<std::pair<int, double>>> extra(
+      static_cast<std::size_t>(n_));
+  for (int k = 0; k < added; ++k)
+    for (const auto& [v, c] : rows[static_cast<std::size_t>(k)].terms)
+      if (v >= 0 && v < n_ && c != 0.0)
+        extra[static_cast<std::size_t>(v)].emplace_back(old_m + k, c);
+  StandardForm::Csc next;
+  next.num_rows = old_m + added;
+  next.num_cols = n_;
+  next.col_start.resize(static_cast<std::size_t>(n_) + 1);
+  next.col_start[0] = 0;
+  for (int j = 0; j < n_; ++j) {
+    const int old_len = csc_.col_start[static_cast<std::size_t>(j) + 1] -
+                        csc_.col_start[static_cast<std::size_t>(j)];
+    next.col_start[static_cast<std::size_t>(j) + 1] =
+        next.col_start[static_cast<std::size_t>(j)] + old_len +
+        static_cast<int>(extra[static_cast<std::size_t>(j)].size());
+  }
+  next.row_index.reserve(static_cast<std::size_t>(next.col_start.back()));
+  next.value.reserve(static_cast<std::size_t>(next.col_start.back()));
+  for (int j = 0; j < n_; ++j) {
+    for (int k = csc_.col_start[static_cast<std::size_t>(j)];
+         k < csc_.col_start[static_cast<std::size_t>(j) + 1]; ++k) {
+      next.row_index.push_back(csc_.row_index[static_cast<std::size_t>(k)]);
+      next.value.push_back(csc_.value[static_cast<std::size_t>(k)]);
+    }
+    for (const auto& [row, coeff] : extra[static_cast<std::size_t>(j)]) {
+      next.row_index.push_back(row);
+      next.value.push_back(coeff);
+    }
+  }
+  csc_ = std::move(next);
+
+  m_ += added;
+  total_ = n_ + m_;
+  alpha_.resize(static_cast<std::size_t>(m_));
+  rho_.resize(static_cast<std::size_t>(m_));
+  row_.resize(static_cast<std::size_t>(total_));
+
+  // Extend the loaded state, if any: each new slack enters the basis at the
+  // value its row activity dictates, with reduced cost 0. Block structure
+  // makes this exact — the extended basis is [[B, 0], [C, I]], so the old
+  // duals and basic values are untouched and the new rows' duals are 0:
+  // the state stays dual-feasible and only the new slacks may sit out of
+  // bounds, which the next warm dual re-solve drives out.
+  if (!vstat_.empty()) {
+    for (int k = 0; k < added; ++k) {
+      const int row = old_m + k;
+      const int s = n_ + row;
+      double activity = 0.0;
+      for (const auto& [v, c] : rows[static_cast<std::size_t>(k)].terms)
+        if (v >= 0 && v < n_) activity += c * x_[static_cast<std::size_t>(v)];
+      lb_.push_back(slack_lb_[static_cast<std::size_t>(row)]);
+      ub_.push_back(slack_ub_[static_cast<std::size_t>(row)]);
+      vstat_.push_back(VStat::Basic);
+      x_.push_back(rhs_[static_cast<std::size_t>(row)] - activity);
+      d_.push_back(0.0);
+      basis_.push_back(s);
+      pos_of_.push_back(row);
+      if (!devex_.empty()) devex_.push_back(1.0);
+    }
+    if (ready_ && !refactor()) ready_ = false;
+  }
+  return true;
+}
+
 std::vector<double> RevisedSimplex::extractValues() const {
   std::vector<double> values(static_cast<std::size_t>(n_));
   for (int j = 0; j < n_; ++j)

@@ -57,6 +57,15 @@ class RevisedSimplex final : public LpBackend {
   bool warmReady() const override { return ready_; }
   void collectReducedCostFixes(double gap, double integrality_tol,
                                std::vector<Fix>* out) const override;
+  /// Canonical-space tableau row via one BTRAN against the factorized basis
+  /// plus a pricing pass — the engine's native column space *is* the
+  /// canonical space, so no translation is needed.
+  bool tableauRow(VarId var, TableauRowView* out) const override;
+  /// Incremental cut rows: extends the CSC, rhs and slack-bound arrays, adds
+  /// each new row's slack to the basis (keeping it valid and dual-feasible)
+  /// and refactorizes. A failed refactorization just clears the warm state —
+  /// the next solve() runs cold over the extended row set.
+  bool addCutRows(const std::vector<CutRow>& rows) override;
   const char* name() const override { return "revised"; }
   void setFlightRecorder(obs::FlightRecorder* recorder) override {
     flight_ = recorder;

@@ -70,7 +70,17 @@ struct SolveStats {
   std::int64_t nodes_explored = 0;
   double best_bound = -kInfinity;  ///< proven lower bound (minimization)
   double wall_seconds = 0.0;
+  /// Cutting planes materialized into the model by the root separation loop
+  /// (cuts.h): total, per family, survivors after activity-based eviction,
+  /// evicted count and separation rounds run. `cuts_added` counts every cut
+  /// the loop added (== gomory + cover added), before eviction.
   int cuts_added = 0;
+  int cuts_gomory = 0;
+  int cuts_cover = 0;
+  int cuts_gomory_active = 0;
+  int cuts_cover_active = 0;
+  int cuts_evicted = 0;
+  int cut_rounds = 0;
   /// Portfolio race (SolveParams::portfolio_threads >= 2) bookkeeping:
   /// nodes explored by the racing depth-first diver, and whether the diver
   /// certified optimality before the canonical search proved it itself.
@@ -108,6 +118,40 @@ struct Solution {
   bool boolValue(VarId v) const { return value(v) > 0.5; }
 };
 
+/// Branch-variable selection rule (branch_bound.cpp).
+enum class BranchRule {
+  /// Product-rule pseudocost scores learned from observed LP-bound
+  /// degradations, falling back to most-fractional while a variable has no
+  /// history in either direction. The default.
+  Pseudocost,
+  /// The pre-PR-6 rule: branch on the integer variable whose LP value is
+  /// farthest from integral. Kept selectable for A/B runs.
+  MostFractional,
+};
+
+/// Root cutting-plane knobs (cuts.h). Cuts are generated once at the root
+/// of every MIP solve, materialized as ordinary model rows, and therefore
+/// shared by the canonical and diver lanes; within a lane they ride the
+/// warm-start contract unchanged (no rows are ever added mid-search).
+struct CutParams {
+  bool enabled = true;   ///< master switch for the root separation loop
+  bool gomory = true;    ///< Gomory mixed-integer cuts from the tableau
+  bool cover = true;     ///< knapsack-cover cuts on 0-1 rows
+  int max_rounds = 8;    ///< separation rounds at the root
+  int max_per_round = 32;  ///< cut cap per round (most-violated first)
+  /// Gomory cuts with more than max(16, max_support_frac * numVars())
+  /// nonzero model terms are discarded: dense cut rows destroy the basis-LU
+  /// sparsity and cost more per simplex iteration across the whole search
+  /// than their root-bound improvement buys back.
+  double max_support_frac = 0.4;
+  /// Tailing-off guard: stop separating when a round improves the root LP
+  /// bound by less than tailoff_tol * (1 + |bound|).
+  double tailoff_tol = 1e-4;
+  /// A pool cut slack at the round's LP optimum for this many consecutive
+  /// rounds is evicted before the cuts are materialized for the search.
+  int evict_after_rounds = 2;
+};
+
 /// Knobs for the solver; defaults suit the PDW models.
 struct SolveParams {
   /// LP engine for every node-LP / pure-LP solve, resolved through the
@@ -122,6 +166,18 @@ struct SolveParams {
   double feasibility_tol = 1e-7;
   double mip_gap = 1e-6;        ///< relative gap for early stop
   bool enable_presolve = true;
+  /// Probing presolve (presolve.h): tentatively fix each binary both ways,
+  /// propagate, fix variables whose one branch is infeasible and tighten
+  /// bounds valid across both branches. Requires enable_presolve.
+  bool probing = true;
+  /// Big-M coefficient strengthening in presolve: shrink binary big-M
+  /// coefficients to the smallest value the activity bounds prove
+  /// sufficient. Requires enable_presolve.
+  bool coef_tightening = true;
+  /// Root cutting planes; see CutParams.
+  CutParams cuts;
+  /// Branch-variable selection; see BranchRule.
+  BranchRule branch_rule = BranchRule::Pseudocost;
   bool log_progress = false;
   /// Optional warm start (one value per model variable). If it is feasible
   /// it seeds the branch-and-bound incumbent, so the solver never returns

@@ -63,6 +63,11 @@ inline constexpr const char* kSimplexRefactorizations =
     "ilp.simplex.refactorizations";
 inline constexpr const char* kSimplexPivotsPerNode =
     "ilp.simplex.pivots_per_node";
+inline constexpr const char* kCutsAdded = "ilp.cuts.added";
+inline constexpr const char* kCutsGomory = "ilp.cuts.gomory";
+inline constexpr const char* kCutsCover = "ilp.cuts.cover";
+inline constexpr const char* kCutsActive = "ilp.cuts.active";
+inline constexpr const char* kCutsEvicted = "ilp.cuts.evicted";
 inline constexpr const char* kSolveSeconds = "ilp.solve_seconds";
 
 // ---- parallel runtime (pool.*) ------------------------------------------

@@ -95,8 +95,12 @@ struct DiffThresholds {
   /// percent over the baseline (all tracked metrics are lower-is-better).
   double max_regression_pct = 10.0;
   /// Metrics compared per row pair (missing-on-either-side keys are
-  /// skipped).
-  std::vector<std::string> metrics = {"wall_seconds", "simplex_iterations"};
+  /// skipped). `nodes` gates branch-and-bound tree growth: a search-order
+  /// or cut regression can balloon the tree long before wall-clock shows
+  /// it on a fast machine (rows that never branch diff 0 vs 0, never
+  /// regress).
+  std::vector<std::string> metrics = {"wall_seconds", "simplex_iterations",
+                                      "nodes"};
   /// Wall-clock readings where both sides sit under this many seconds are
   /// noise, not signal — such pairs never regress (other metrics compare
   /// exactly).

@@ -97,6 +97,31 @@ TEST_P(EndToEndTest, PdwDominatesDawo) {
   EXPECT_LE(mp.t_delay, md.t_delay + 1e-6) << e.benchmark.name;
 }
 
+TEST_P(EndToEndTest, CutsOnOffPlansMatch) {
+  // Root cutting planes (ilp/cuts.h) only ever remove fractional LP points,
+  // so the wash plan — in particular N_wash, the paper's headline metric —
+  // must be identical with the separation loop on and off; only the
+  // branch-and-bound tree size may differ.
+  EndToEnd e = makeBase(GetParam());
+  core::PdwOptions with_cuts;
+  with_cuts.solver.schedule.time_limit_seconds = 6.0;
+  core::PdwOptions without = with_cuts;
+  without.withCuts(false);
+  without.solver.schedule.probing = false;
+  without.solver.path.probing = false;
+
+  const wash::WashPlanResult on = runPdw(e.synth.schedule, with_cuts);
+  const wash::WashPlanResult off = runPdw(e.synth.schedule, without);
+  const sim::WashMetrics mon = sim::computeMetrics(on.schedule,
+                                                   e.synth.schedule);
+  const sim::WashMetrics moff = sim::computeMetrics(off.schedule,
+                                                    e.synth.schedule);
+  EXPECT_EQ(mon.n_wash, moff.n_wash) << e.benchmark.name;
+  EXPECT_EQ(remainingTargets(on.schedule), 0) << e.benchmark.name;
+  EXPECT_TRUE(sim::validateSchedule(on.schedule, looseTol()).ok())
+      << e.benchmark.name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, EndToEndTest, ::testing::ValuesIn(assay::allBenchmarks()),
     [](const ::testing::TestParamInfo<BenchmarkId>& info) {

@@ -2,7 +2,6 @@
 //
 //   obs_check --trace t.json --metrics m.json [--expect-workers N]
 //   obs_check --bench b.json [--expect-warm-hits] [--expect-engine NAME]
-//             [--baseline BENCH.json]
 //   obs_check --flight f.jsonl [--metrics m.json]
 //
 // Flight checks: a `pdw-flight-1` JSONL stream (obs/flight.h) — every line
@@ -11,10 +10,12 @@
 // and increasing seq, and sum(counts) == dropped + events per block. When
 // --metrics is also given, the stream is reconciled against the registry
 // export: canonical-lane node_open == ilp.bb.nodes, diver node_open ==
-// ilp.bb.diver_nodes, canonical warm_miss == ilp.simplex.warm_misses, and
-// solve headers <= ilp.bb.solves (pure-LP solves carry no recorder). Exact
-// only when the producing process dumped every solve (--flight-out /
-// dump_all) — which is how tier1.sh drives it.
+// ilp.bb.diver_nodes, canonical warm_miss == ilp.simplex.warm_misses,
+// canonical cut_added == ilp.cuts.added (the root separation loop records
+// one event per materialized cut into the canonical recorder), and solve
+// headers <= ilp.bb.solves (pure-LP solves carry no recorder). Exact only
+// when the producing process dumped every solve (--flight-out / dump_all)
+// — which is how tier1.sh drives it.
 //
 // Trace checks: parses as Chrome trace_event JSON (object form), every
 // event carries ph/ts/pid/tid, begin/end counts balance with proper nesting
@@ -26,10 +27,10 @@
 // records with non-negative solver readings, totals consistent with the
 // records, and (with --expect-warm-hits) a strictly positive warm-hit rate.
 // --expect-engine requires the document's top-level `engine` label to match.
-// --baseline compares against a reference pdw-bench-1 document (rows matched
-// by name) and fails when the totals over the common rows regress: the
-// current run must be no slower in wall time and spend no more simplex
-// iterations than the baseline. Exits non-zero with one line per failure.
+// Baseline comparisons live in tools/pdw_report (per-row diffs against the
+// run-record store or a frozen pdw-bench-1 document); the former
+// `--baseline` totals gate has been retired. Exits non-zero with one line
+// per failure.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -224,7 +225,7 @@ FlightTotals checkFlight(const std::string& path) {
   static const std::set<std::string> known_kinds = {
       "solve_begin", "node_open",   "node_solved",     "node_pruned",
       "node_branched", "incumbent", "bound_delta",     "warm_miss",
-      "refactorization", "dual_stall"};
+      "refactorization", "dual_stall", "cut_added"};
 
   std::string line;
   int line_no = 0;
@@ -378,6 +379,9 @@ void reconcileFlight(const FlightTotals& totals,
   expectEqual("canonical warm_miss vs ilp.simplex.warm_misses",
               laneKind("canonical", "warm_miss"),
               counterValue("ilp.simplex.warm_misses"));
+  expectEqual("canonical cut_added vs ilp.cuts.added",
+              laneKind("canonical", "cut_added"),
+              counterValue("ilp.cuts.added"));
 
   const double solves = counterValue("ilp.bb.solves");
   if (static_cast<double>(totals.solve_headers) > solves)
@@ -390,76 +394,8 @@ void reconcileFlight(const FlightTotals& totals,
                  totals.solve_headers, solves);
 }
 
-struct BenchRow {
-  double wall_seconds = 0.0;
-  double simplex_iterations = 0.0;
-};
-
-/// name -> (wall, iterations) for every named record in a pdw-bench-1 doc.
-std::map<std::string, BenchRow> benchRows(const Value& doc) {
-  std::map<std::string, BenchRow> rows;
-  const Value* benchmarks = doc.find("benchmarks");
-  if (!benchmarks || !benchmarks->isArray()) return rows;
-  for (const Value& b : benchmarks->array) {
-    const Value* name = b.find("name");
-    const Value* wall = b.find("wall_seconds");
-    const Value* iters = b.find("simplex_iterations");
-    if (!name || !name->isString() || !wall || !wall->isNumber() || !iters ||
-        !iters->isNumber())
-      continue;
-    rows[name->string] = {wall->number, iters->number};
-  }
-  return rows;
-}
-
-/// Regression gate against a reference run: rows are matched by name and the
-/// totals over the common rows must not regress in either wall time or
-/// simplex iterations. Per-row ratios are printed for the log regardless.
-void checkBenchBaseline(const Value& doc, const std::string& baseline_path) {
-  const std::string text = slurp(baseline_path);
-  if (text.empty())
-    return fail("baseline file empty or unreadable: " + baseline_path);
-  const auto base_doc = pdw::obs::json::parse(text);
-  if (!base_doc || !base_doc->isObject())
-    return fail("baseline is not a JSON object");
-  const Value* schema = base_doc->find("schema");
-  if (!schema || !schema->isString() || schema->string != "pdw-bench-1")
-    return fail("baseline schema tag is not 'pdw-bench-1'");
-
-  const std::map<std::string, BenchRow> current = benchRows(doc);
-  const std::map<std::string, BenchRow> baseline = benchRows(*base_doc);
-  BenchRow cur_total, base_total;
-  int common = 0;
-  for (const auto& [name, cur] : current) {
-    const auto it = baseline.find(name);
-    if (it == baseline.end()) continue;
-    ++common;
-    cur_total.wall_seconds += cur.wall_seconds;
-    cur_total.simplex_iterations += cur.simplex_iterations;
-    base_total.wall_seconds += it->second.wall_seconds;
-    base_total.simplex_iterations += it->second.simplex_iterations;
-    std::fprintf(stderr,
-                 "obs_check: baseline %-24s wall %8.3fs -> %8.3fs  "
-                 "iters %10.0f -> %10.0f\n",
-                 name.c_str(), it->second.wall_seconds, cur.wall_seconds,
-                 it->second.simplex_iterations, cur.simplex_iterations);
-  }
-  if (common == 0)
-    return fail("baseline shares no benchmark names with the current run");
-  if (cur_total.wall_seconds > base_total.wall_seconds)
-    fail("wall time regressed vs baseline over " + std::to_string(common) +
-         " common rows (" + std::to_string(cur_total.wall_seconds) + "s > " +
-         std::to_string(base_total.wall_seconds) + "s)");
-  if (cur_total.simplex_iterations > base_total.simplex_iterations)
-    fail("simplex iterations regressed vs baseline over " +
-         std::to_string(common) + " common rows (" +
-         std::to_string(cur_total.simplex_iterations) + " > " +
-         std::to_string(base_total.simplex_iterations) + ")");
-}
-
 void checkBench(const std::string& path, bool expect_warm_hits,
-                const std::string& expect_engine,
-                const std::string& baseline_path) {
+                const std::string& expect_engine) {
   const std::string text = slurp(path);
   if (text.empty()) return fail("bench file empty or unreadable: " + path);
   const auto doc = pdw::obs::json::parse(text);
@@ -523,14 +459,13 @@ void checkBench(const std::string& path, bool expect_warm_hits,
     if (!hits || !hits->isNumber() || hits->number <= 0)
       fail("expected totals.warm_hits > 0 (warm dual path never taken)");
   }
-  if (!baseline_path.empty()) checkBenchBaseline(*doc, baseline_path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path, metrics_path, bench_path, flight_path;
-  std::string expect_engine, baseline_path;
+  std::string expect_engine;
   bool expect_warm_hits = false;
   int expect_workers = 0;
   for (int i = 1; i < argc; ++i) {
@@ -559,20 +494,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v) expect_engine = v;
     } else if (arg == "--baseline") {
-      // Deprecated: the totals-only gate predates the run-record store.
-      // tools/pdw_report diffs per-row with configurable thresholds; this
-      // alias survives for older scripts.
+      // Retired: the totals-only gate predates the run-record store.
+      // tools/pdw_report diffs per-row with configurable thresholds.
       std::fprintf(stderr,
-                   "obs_check: note: --baseline is deprecated; prefer "
+                   "obs_check: --baseline has been removed; use "
                    "pdw_report --against BENCH.json\n");
-      const char* v = next();
-      if (v) baseline_path = v;
+      return 2;
     } else {
       std::fprintf(stderr,
                    "usage: obs_check [--trace FILE] [--metrics FILE] "
                    "[--expect-workers N] [--bench FILE] "
                    "[--flight FILE.jsonl] [--expect-warm-hits] "
-                   "[--expect-engine NAME] [--baseline BENCH.json]\n");
+                   "[--expect-engine NAME]\n");
       return 2;
     }
   }
@@ -584,7 +517,7 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) checkTrace(trace_path, expect_workers);
   if (!metrics_path.empty()) checkMetrics(metrics_path, expect_workers > 0);
   if (!bench_path.empty())
-    checkBench(bench_path, expect_warm_hits, expect_engine, baseline_path);
+    checkBench(bench_path, expect_warm_hits, expect_engine);
   if (!flight_path.empty()) {
     const FlightTotals totals = checkFlight(flight_path);
     if (!metrics_path.empty()) reconcileFlight(totals, metrics_path);
