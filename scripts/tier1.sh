@@ -8,9 +8,14 @@
 # gated by tools/pdw_report against the committed BENCH_ilp.json baseline;
 # obs_check --bench still schema-validates and requires warm hits), a
 # root-cut reconciliation (the same bench run's flight stream must report
-# exactly ilp.cuts.added canonical cut_added events), the ILP numerics
-# tests under ASan+UBSan, then the parallel-runtime + obs tests
-# (determinism, route cache, tracing/metrics/logging) under
+# exactly ilp.cuts.added canonical cut_added events), a pdwd service smoke
+# (a stdio request batch through the resident daemon, then a unix-socket
+# daemon loaded by bench_pdwd --quick: warm-rate/speedup gates, counters
+# reconciled by obs_check --pdwd, run record diffed against the frozen
+# pdwd-quick-baseline label in BENCH_runs.jsonl by pdw_report), the ILP
+# numerics tests under ASan+UBSan, then the parallel-runtime + obs +
+# daemon-concurrency tests (determinism, route cache + epochs,
+# tracing/metrics/logging, byte-identical concurrent pdwd plans) under
 # ThreadSanitizer.
 #
 #   scripts/tier1.sh            # all stages
@@ -68,6 +73,48 @@ echo "== tier-1: root-cut reconciliation (bench flight vs registry) =="
 ./build/tools/obs_check --flight "$obs_dir/bench_flight.jsonl" \
   --metrics "$obs_dir/bench_metrics.json"
 
+echo "== tier-1: pdwd service smoke (stdio batch) =="
+# A canned request batch piped through the resident daemon: two identical
+# solves (the second must be served from the plan cache), a metrics scrape,
+# then shutdown. The scraped pdw-resp-1 line feeds obs_check --pdwd, which
+# reconciles the daemon's outcome-partition invariant and demands exactly 2
+# completed solves with at least one warm.
+printf '%s\n' \
+  '{"schema":"pdw-req-1","type":"ping","id":"t1"}' \
+  '{"schema":"pdw-req-1","type":"solve","id":"t2","benchmark":"Kinase act-1"}' \
+  '{"schema":"pdw-req-1","type":"solve","id":"t3","benchmark":"Kinase act-1"}' \
+  '{"schema":"pdw-req-1","type":"metrics","id":"t4"}' \
+  '{"schema":"pdw-req-1","type":"shutdown","id":"t5"}' \
+  | ./build/tools/pdwd --stdio --lanes 1 > "$obs_dir/pdwd_stdio.out"
+grep '"type":"metrics"' "$obs_dir/pdwd_stdio.out" > "$obs_dir/pdwd_scrape.json"
+./build/tools/obs_check --pdwd "$obs_dir/pdwd_scrape.json" \
+  --expect-solves 2 --expect-warm-solves
+
+echo "== tier-1: pdwd service smoke (socket bench + pdw_report) =="
+# A real daemon on a unix socket, loaded by bench_pdwd over the wire:
+# 3 passes x 2 clients over the quick Table-II mix, gated on warm service
+# rate >= 0.9 and warm latency >= 2x better than cold p50. The run record
+# is then diffed against the frozen pdwd-quick-baseline label committed in
+# BENCH_runs.jsonl — warm_miss_rate is the deterministic gate (baseline 0,
+# any miss is +inf); wall_seconds has a generous threshold plus a 5 s noise
+# floor because cold solves are wall-clock noisy on a loaded machine.
+./build/tools/pdwd --socket "$obs_dir/pdwd.sock" --lanes 2 \
+  --metrics-out "$obs_dir/pdwd_metrics.json" &
+pdwd_pid=$!
+for _ in $(seq 100); do [[ -S "$obs_dir/pdwd.sock" ]] && break; sleep 0.1; done
+./build/bench/bench_pdwd --quick --connect "$obs_dir/pdwd.sock" \
+  --run-store "$obs_dir/pdwd_runs.jsonl" --label tier1-pdwd \
+  --scrape-out "$obs_dir/pdwd_socket_scrape.json" --shutdown \
+  --expect-warm-rate 0.9 --expect-warm-speedup 2
+wait "$pdwd_pid"
+./build/tools/obs_check --pdwd "$obs_dir/pdwd_socket_scrape.json" \
+  --expect-warm-solves
+cp BENCH_runs.jsonl "$obs_dir/pdwd_store.jsonl"
+cat "$obs_dir/pdwd_runs.jsonl" >> "$obs_dir/pdwd_store.jsonl"
+./build/tools/pdw_report --store "$obs_dir/pdwd_store.jsonl" \
+  --label tier1-pdwd --against-label pdwd-quick-baseline \
+  --metrics warm_miss_rate,wall_seconds --max-regression 300% --min-wall 5
+
 if [[ "${PDW_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== tier-1: ASan/UBSan stage skipped (PDW_SKIP_ASAN=1) =="
 else
@@ -89,6 +136,6 @@ cmake -B build-tsan -S . -DPDW_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target pdw_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/pdw_tests \
-  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*:ObsTrace.*:ObsMetrics.*:ObsLogging.*'
+  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*:ObsTrace.*:ObsMetrics.*:ObsLogging.*:PdwdConcurrency.*:RouteCacheEpoch.*'
 
 echo "== tier-1: OK =="

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -27,7 +28,13 @@
 #include "wash/plan.h"
 #include "wash/wash_op.h"
 
+namespace pdw::util {
+class ThreadPool;
+}
+
 namespace pdw::core {
+
+class RouteCache;  // core/route_cache.h
 
 /// All solver knobs of the pipeline in one place: per-stage ilp::SolveParams
 /// for the scheduling ILP and the per-operation wash-path ILPs, plus the LP
@@ -174,6 +181,21 @@ struct PdwOptions {
   /// of one Pipeline (LRU, `route_cache_capacity` problems). 0 disables.
   std::size_t route_cache_capacity = 256;
 
+  /// Shared-runtime injection (the pdwd service): when set, the Pipeline
+  /// uses this route cache instead of constructing its own, so several
+  /// concurrent Pipelines serve repeat traffic from one warm cache
+  /// (`route_cache_capacity` is ignored). The cache's epoch guard
+  /// (RouteCache::invalidate) keeps concurrent readers safe across version
+  /// bumps. Lookup/insert are thread-safe; sharing never changes results.
+  std::shared_ptr<RouteCache> shared_route_cache;
+
+  /// When set, the Pipeline multiplexes its parallel stages onto this
+  /// work-stealing pool instead of constructing one per instance.
+  /// ThreadPool::parallelFor supports concurrent batches from distinct
+  /// caller threads, so N Pipelines can share one pool — the pdwd daemon's
+  /// execution model. Do not run() a *single* Pipeline from two threads.
+  std::shared_ptr<util::ThreadPool> shared_pool;
+
   // ---- builder-style setters (each returns *this for chaining) ----------
 
   /// Objective weights alpha (N_wash), beta (L_wash), gamma (T_assay).
@@ -296,6 +318,20 @@ struct PdwOptions {
   /// Route-cache capacity in problems; 0 disables caching.
   PdwOptions& withRouteCache(std::size_t capacity) {
     route_cache_capacity = capacity;
+    return *this;
+  }
+
+  /// Share an external route cache across Pipelines (see
+  /// `shared_route_cache`). Passing nullptr reverts to a per-Pipeline cache.
+  PdwOptions& withSharedRouteCache(std::shared_ptr<RouteCache> cache) {
+    shared_route_cache = std::move(cache);
+    return *this;
+  }
+
+  /// Share an external work-stealing pool across Pipelines (see
+  /// `shared_pool`). Passing nullptr reverts to a per-Pipeline pool.
+  PdwOptions& withSharedPool(std::shared_ptr<util::ThreadPool> pool) {
+    shared_pool = std::move(pool);
     return *this;
   }
 };

@@ -37,7 +37,12 @@ RouteOutcome routeOperation(const arch::ChipLayout& chip,
                             core::RouteCache* cache) {
   RouteOutcome out;
   core::RouteKey key;
+  std::uint64_t epoch = 0;
   if (cache != nullptr) {
+    // Capture the epoch before the miss: if a shared cache is invalidated
+    // while we route, the epoch-guarded insert below drops our (stale)
+    // result instead of repopulating the new epoch with it.
+    epoch = cache->epoch();
     key = core::RouteCache::makeKey(chip, targets, options.use_ilp_paths,
                                     options.path);
     if (auto cached = cache->lookup(key)) {
@@ -58,7 +63,7 @@ RouteOutcome routeOperation(const arch::ChipLayout& chip,
     // used flow paths, so ports can always reach them.
     out.path = core::routeWashPathHeuristic(chip, targets);
   }
-  if (cache != nullptr) cache->insert(key, out.path);
+  if (cache != nullptr) cache->insert(key, out.path, epoch);
   return out;
 }
 
@@ -137,9 +142,19 @@ Pipeline::Pipeline(core::PdwOptions options) : options_(std::move(options)) {
   // key, which hashes them) in sync with it.
   options_.path.solver = options_.solver.path;
 
-  pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
-  if (options_.route_cache_capacity > 0)
-    cache_ = std::make_unique<core::RouteCache>(options_.route_cache_capacity);
+  // Shared-runtime injection (pdwd): an externally-owned pool/cache wins
+  // over per-instance construction, so N concurrent Pipelines multiplex one
+  // work-stealing pool and serve repeat traffic from one warm route cache.
+  if (options_.shared_pool) {
+    pool_ = options_.shared_pool;
+  } else {
+    pool_ = std::make_shared<util::ThreadPool>(options_.num_threads);
+  }
+  if (options_.shared_route_cache) {
+    cache_ = options_.shared_route_cache;
+  } else if (options_.route_cache_capacity > 0) {
+    cache_ = std::make_shared<core::RouteCache>(options_.route_cache_capacity);
+  }
 }
 
 Pipeline::~Pipeline() = default;
@@ -292,6 +307,9 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   result.cache.misses = cache_after.misses - cache_before.misses;
   result.cache.inserts = cache_after.inserts - cache_before.inserts;
   result.cache.evictions = cache_after.evictions - cache_before.evictions;
+  result.cache.stale_drops = cache_after.stale_drops - cache_before.stale_drops;
+  result.cache.invalidations =
+      cache_after.invalidations - cache_before.invalidations;
 
   finalizeMetrics(result, metrics_before);
   return result;

@@ -103,8 +103,11 @@ class Pipeline {
 
  private:
   core::PdwOptions options_;
-  std::unique_ptr<util::ThreadPool> pool_;
-  std::unique_ptr<core::RouteCache> cache_;
+  /// Owned by this Pipeline unless the options injected shared instances
+  /// (PdwOptions::shared_pool / shared_route_cache — the pdwd service model
+  /// of N concurrent Pipelines over one pool and one warm cache).
+  std::shared_ptr<util::ThreadPool> pool_;
+  std::shared_ptr<core::RouteCache> cache_;
 };
 
 }  // namespace pdw

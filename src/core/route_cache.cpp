@@ -6,6 +6,7 @@
 #include "core/wash_path_ilp.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/hash.h"
 
 namespace pdw::core {
 
@@ -38,17 +39,20 @@ obs::Counter& evictionCounter() {
   return c;
 }
 
-/// splitmix64: cheap, well-distributed 64-bit mixer.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+obs::Counter& staleDropCounter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter(obs::names::kRouteCacheStaleDrops);
+  return c;
 }
 
-std::uint64_t combine(std::uint64_t seed, std::uint64_t value) {
-  return mix(seed ^ mix(value));
+obs::Counter& invalidationCounter() {
+  static obs::Counter& c = obs::Registry::instance().counter(
+      obs::names::kRouteCacheInvalidations);
+  return c;
 }
+
+using util::hash::combine;
+using util::hash::combineDouble;
 
 std::uint64_t combineCell(std::uint64_t seed, arch::Cell c) {
   return combine(seed, (static_cast<std::uint64_t>(
@@ -57,14 +61,24 @@ std::uint64_t combineCell(std::uint64_t seed, arch::Cell c) {
                            static_cast<std::uint32_t>(c.y));
 }
 
-std::uint64_t combineDouble(std::uint64_t seed, double value) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(value));
-  __builtin_memcpy(&bits, &value, sizeof(bits));
-  return combine(seed, bits);
-}
-
 }  // namespace
+
+std::uint64_t chipFingerprint(const arch::ChipLayout& chip) {
+  std::uint64_t h = combine(
+      combine(static_cast<std::uint64_t>(chip.width()),
+              static_cast<std::uint64_t>(chip.height())),
+      0);
+  h = combineDouble(h, chip.pitchMm());
+  for (const arch::Port& p : chip.ports()) {
+    h = combineCell(h, p.cell);
+    h = combine(h, p.is_waste ? 1 : 2);
+  }
+  for (const arch::Device& d : chip.devices()) {
+    h = combineCell(h, d.cell);
+    h = combine(h, static_cast<std::uint64_t>(d.kind));
+  }
+  return h;
+}
 
 std::size_t RouteKeyHash::operator()(const RouteKey& key) const {
   std::uint64_t h = combine(key.chip_fingerprint, key.blocked_hash);
@@ -94,6 +108,11 @@ std::optional<std::optional<arch::FlowPath>> RouteCache::lookup(
 void RouteCache::insert(const RouteKey& key,
                         std::optional<arch::FlowPath> path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  insertLocked(key, std::move(path));
+}
+
+void RouteCache::insertLocked(const RouteKey& key,
+                              std::optional<arch::FlowPath> path) {
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->path = std::move(path);
@@ -110,6 +129,36 @@ void RouteCache::insert(const RouteKey& key,
     ++stats_.evictions;
     evictionCounter().increment();
   }
+}
+
+bool RouteCache::insert(const RouteKey& key,
+                        std::optional<arch::FlowPath> path,
+                        std::uint64_t epoch) {
+  // Checked and inserted under one critical section: an invalidate()
+  // serializes either before (stale, dropped) or after (entry cleared with
+  // the rest of its epoch) — a stale result can never land in a newer epoch.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch != epoch_) {
+    ++stats_.stale_drops;
+    staleDropCounter().increment();
+    return false;
+  }
+  insertLocked(key, std::move(path));
+  return true;
+}
+
+std::uint64_t RouteCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+void RouteCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++epoch_;
+  map_.clear();
+  lru_.clear();
+  ++stats_.invalidations;
+  invalidationCounter().increment();
 }
 
 std::size_t RouteCache::size() const {
@@ -132,21 +181,7 @@ RouteKey RouteCache::makeKey(const arch::ChipLayout& chip,
                              const std::vector<arch::Cell>& targets,
                              bool use_ilp, const WashPathOptions& options) {
   RouteKey key;
-
-  std::uint64_t chip_h = combine(
-      combine(static_cast<std::uint64_t>(chip.width()),
-              static_cast<std::uint64_t>(chip.height())),
-      0);
-  chip_h = combineDouble(chip_h, chip.pitchMm());
-  for (const arch::Port& p : chip.ports()) {
-    chip_h = combineCell(chip_h, p.cell);
-    chip_h = combine(chip_h, p.is_waste ? 1 : 2);
-  }
-  for (const arch::Device& d : chip.devices()) {
-    chip_h = combineCell(chip_h, d.cell);
-    chip_h = combine(chip_h, static_cast<std::uint64_t>(d.kind));
-  }
-  key.chip_fingerprint = chip_h;
+  key.chip_fingerprint = chipFingerprint(chip);
 
   key.targets = targets;
   std::sort(key.targets.begin(), key.targets.end());

@@ -29,6 +29,12 @@ namespace pdw::core {
 
 struct WashPathOptions;  // wash_path_ilp.h
 
+/// 64-bit fingerprint of everything routing-relevant about a chip: grid
+/// extent, pitch, every port (cell + waste/flow role), every device (cell +
+/// kind). Shared by the route-cache key and the service layer's request
+/// fingerprints.
+std::uint64_t chipFingerprint(const arch::ChipLayout& chip);
+
 /// Full routing-problem identity. Kept verbatim (not just hashed) so a hash
 /// collision can never alias two different problems.
 struct RouteKey {
@@ -49,6 +55,12 @@ struct RouteCacheStats {
   std::int64_t misses = 0;
   std::int64_t inserts = 0;
   std::int64_t evictions = 0;
+  /// Epoch-guarded inserts dropped because invalidate() ran between the
+  /// caller's lookup and its insert (the result was computed against stale
+  /// chip/schedule state and must not repopulate the new epoch).
+  std::int64_t stale_drops = 0;
+  /// invalidate() calls over the cache lifetime.
+  std::int64_t invalidations = 0;
   double hitRate() const {
     const std::int64_t lookups = hits + misses;
     return lookups == 0 ? 0.0 : static_cast<double>(hits) /
@@ -69,6 +81,25 @@ class RouteCache {
   /// full. Re-inserting an existing key refreshes its recency.
   void insert(const RouteKey& key, std::optional<arch::FlowPath> path);
 
+  /// Epoch-guarded insert for shared use: memoize only when the cache is
+  /// still in `epoch` (as captured via epoch() before the miss that
+  /// triggered the computation). A concurrent invalidate() between the
+  /// lookup and this call makes the result stale — it is dropped and false
+  /// is returned, so pre-bump work can never leak into the post-bump cache.
+  bool insert(const RouteKey& key, std::optional<arch::FlowPath> path,
+              std::uint64_t epoch);
+
+  /// The current cache epoch. Entries only ever belong to the current
+  /// epoch; invalidate() starts the next one.
+  std::uint64_t epoch() const;
+
+  /// Version bump: drop every entry and advance the epoch, atomically with
+  /// respect to concurrent lookup()/insert() (readers either see the old
+  /// fully-populated cache or the new empty one, never a mix). In-flight
+  /// computations that captured the previous epoch will have their inserts
+  /// dropped (see the epoch-guarded insert overload).
+  void invalidate();
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   RouteCacheStats stats() const;
@@ -86,8 +117,12 @@ class RouteCache {
     std::optional<arch::FlowPath> path;
   };
 
+  /// Insert body shared by both public overloads; mutex_ must be held.
+  void insertLocked(const RouteKey& key, std::optional<arch::FlowPath> path);
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  std::uint64_t epoch_ = 0;  ///< guarded by mutex_; bumped by invalidate()
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<RouteKey, std::list<Entry>::iterator, RouteKeyHash> map_;
   RouteCacheStats stats_;

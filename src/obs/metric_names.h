@@ -31,6 +31,10 @@ inline constexpr const char* kRouteCacheMisses = "pdw.route_cache.misses";
 inline constexpr const char* kRouteCacheInserts = "pdw.route_cache.inserts";
 inline constexpr const char* kRouteCacheEvictions =
     "pdw.route_cache.evictions";
+inline constexpr const char* kRouteCacheStaleDrops =
+    "pdw.route_cache.stale_drops";
+inline constexpr const char* kRouteCacheInvalidations =
+    "pdw.route_cache.invalidations";
 inline constexpr const char* kRoutingUnroutableOperations =
     "pdw.routing.unroutable_operations";
 inline constexpr const char* kScheduleIlpOrderBinaries =
@@ -69,6 +73,31 @@ inline constexpr const char* kCutsCover = "ilp.cuts.cover";
 inline constexpr const char* kCutsActive = "ilp.cuts.active";
 inline constexpr const char* kCutsEvicted = "ilp.cuts.evicted";
 inline constexpr const char* kSolveSeconds = "ilp.solve_seconds";
+
+// ---- wash-optimization service (pdwd.*) ---------------------------------
+// Daemon request accounting. `pdwd.requests` counts every parsed protocol
+// line (solves, scrapes, pings); the outcome counters partition the solve
+// requests: every admitted solve ends as exactly one of solve_ok /
+// budget_hits / deadline_expired, and rejected_queue_full counts solves
+// never admitted. errors counts malformed/oversize/unparseable lines.
+inline constexpr const char* kPdwdRequests = "pdwd.requests";
+inline constexpr const char* kPdwdSolveOk = "pdwd.solve_ok";
+inline constexpr const char* kPdwdBudgetHits = "pdwd.budget_hits";
+inline constexpr const char* kPdwdDeadlineExpired = "pdwd.deadline_expired";
+inline constexpr const char* kPdwdRejectedQueueFull =
+    "pdwd.rejected_queue_full";
+inline constexpr const char* kPdwdErrors = "pdwd.errors";
+inline constexpr const char* kPdwdPlanCacheHits = "pdwd.plan_cache.hits";
+inline constexpr const char* kPdwdPlanCacheMisses = "pdwd.plan_cache.misses";
+inline constexpr const char* kPdwdPlanCacheStaleDrops =
+    "pdwd.plan_cache.stale_drops";
+inline constexpr const char* kPdwdCacheInvalidations =
+    "pdwd.cache_invalidations";
+inline constexpr const char* kPdwdQueueDepth = "pdwd.queue_depth";
+inline constexpr const char* kPdwdRequestSeconds = "pdwd.request_seconds";
+inline constexpr const char* kPdwdQueueWaitSeconds =
+    "pdwd.queue_wait_seconds";
+inline constexpr const char* kPdwdSlowRequests = "pdwd.slow_requests";
 
 // ---- parallel runtime (pool.*) ------------------------------------------
 inline constexpr const char* kPoolTasksExecuted = "pool.tasks_executed";

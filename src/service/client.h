@@ -1,0 +1,39 @@
+// Minimal blocking pdwd client: connect to the daemon's unix socket, send
+// one request line, read one response line. Used by the bench_pdwd load
+// generator's --connect mode and the socket round-trip tests; real
+// deployments can speak the protocol from anything that can write lines to
+// a socket (see README "Running pdwd").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pdw::service {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connect to the unix-domain socket at `path`. False on failure (the
+  /// client stays unconnected and can retry).
+  bool connect(const std::string& path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send `line` (a newline is appended) and block for the one response
+  /// line. nullopt on any I/O failure or EOF.
+  std::optional<std::string> roundTrip(std::string_view line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace pdw::service

@@ -1,0 +1,138 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "service/daemon.h"
+#include "service/protocol.h"
+#include "util/logging.h"
+
+namespace pdw::service {
+
+std::size_t serveStdio(Daemon& daemon, std::istream& in, std::ostream& out) {
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    out << daemon.handleLine(line) << "\n" << std::flush;
+    if (daemon.shutdownRequested()) break;
+  }
+  return lines;
+}
+
+SocketServer::SocketServer(Daemon& daemon, std::string path)
+    : daemon_(daemon), path_(std::move(path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path_);
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(path_.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen " + path_ + ": " + why);
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  // If run() was never entered there are no connection threads; just close.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+void SocketServer::run() {
+  PDW_LOG(Info, "pdwd") << "listening on " << path_;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down by stop()
+    }
+    connections_.emplace_back([this, fd] { serveConnection(fd); });
+  }
+  // run() owns the joins: stop() only unblocks accept(), so a connection
+  // thread that triggers shutdown never tries to join itself.
+  for (std::thread& t : connections_)
+    if (t.joinable()) t.join();
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  PDW_LOG(Info, "pdwd") << "server loop done";
+}
+
+void SocketServer::stop() {
+  // Idempotent and safe from any thread (including connection threads):
+  // shutting down the listening socket makes the blocked accept() in run()
+  // return, and run() then drains the connection threads itself. The fd is
+  // intentionally not closed here — run() may still be blocked on it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void SocketServer::serveConnection(int fd) {
+  // Bounded line framing: a line that exceeds the protocol byte cap stops
+  // accumulating (the cap+1-byte prefix we keep is enough for parseRequest
+  // to refuse it as "oversize"), so a newline-free flood costs O(cap)
+  // memory, not O(input).
+  std::string buffer;
+  bool overflowed = false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      const char c = chunk[i];
+      if (c != '\n') {
+        if (buffer.size() <= kMaxRequestBytes)
+          buffer.push_back(c);
+        else
+          overflowed = true;
+        continue;
+      }
+      if (!buffer.empty() || overflowed) {
+        const std::string out = daemon_.handleLine(buffer) + "\n";
+        std::size_t written = 0;
+        while (written < out.size()) {
+          const ssize_t w =
+              ::write(fd, out.data() + written, out.size() - written);
+          if (w <= 0) {
+            ::close(fd);
+            return;
+          }
+          written += static_cast<std::size_t>(w);
+        }
+      }
+      buffer.clear();
+      overflowed = false;
+      if (daemon_.shutdownRequested()) {
+        ::close(fd);
+        stop();  // unblock the accept loop; run() drains and returns
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace pdw::service

@@ -1,0 +1,62 @@
+// pdwd transports: a unix-domain-socket server and a stdio loop.
+//
+// Both are thin line pumps over Daemon::handleLine — they own no protocol
+// logic beyond framing. The socket server accepts connections on a
+// filesystem path and serves each on its own thread; reading is bounded:
+// a line that outgrows the protocol byte cap stops being buffered, and the
+// daemon answers it with the structured "oversize" error once its newline
+// arrives (the connection stays usable). serveStdio() pumps newline-
+// delimited requests from an istream to an ostream — the transport behind
+// `pdwd --stdio` and the tier-1 smoke stage, which pipe request batches
+// through the daemon without needing socat/netcat.
+//
+// Both loops exit after the daemon accepts a shutdown request, once every
+// in-flight response has been written.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pdw::service {
+
+class Daemon;
+
+/// Serve newline-delimited requests from `in` to `out`, one response line
+/// per request line, until EOF or an accepted shutdown request. Returns the
+/// number of request lines processed.
+std::size_t serveStdio(Daemon& daemon, std::istream& in, std::ostream& out);
+
+class SocketServer {
+ public:
+  /// Binds and listens on unix-domain socket `path` (an existing socket
+  /// file at that path is replaced). Throws std::runtime_error when the
+  /// socket cannot be created.
+  SocketServer(Daemon& daemon, std::string path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept loop: serves every connection on its own thread; returns after
+  /// stop() or an accepted shutdown request. Call from the main thread.
+  void run();
+
+  /// Unblock run()'s accept loop. Idempotent, callable from any thread —
+  /// including a connection thread (the shutdown request path calls it);
+  /// run() itself joins the connection threads before returning.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void serveConnection(int fd);
+
+  Daemon& daemon_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace pdw::service

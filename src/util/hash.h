@@ -1,0 +1,45 @@
+// Small non-cryptographic 64-bit hashing helpers (splitmix64 mixing),
+// shared by everything that fingerprints problem state: the route cache's
+// chip/options keys and the service layer's (arch, schedule) request
+// fingerprints. Header-only so hot key-building loops inline fully.
+//
+// These hashes identify cache entries; callers that cannot tolerate a
+// collision must keep the full key alongside (as RouteKey does).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace pdw::util::hash {
+
+/// splitmix64: cheap, well-distributed 64-bit mixer.
+inline std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine (seed first, then value).
+inline std::uint64_t combine(std::uint64_t seed, std::uint64_t value) {
+  return mix(seed ^ mix(value));
+}
+
+/// Fold a double's bit pattern in (0.0 and -0.0 hash differently; callers
+/// fingerprinting solver knobs want exact-representation identity).
+inline std::uint64_t combineDouble(std::uint64_t seed, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return combine(seed, bits);
+}
+
+/// Fold a byte string in, order-dependently.
+inline std::uint64_t combineBytes(std::uint64_t seed, const char* data,
+                                  std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i)
+    seed = combine(seed, static_cast<unsigned char>(data[i]));
+  return seed;
+}
+
+}  // namespace pdw::util::hash

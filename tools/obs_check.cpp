@@ -3,6 +3,14 @@
 //   obs_check --trace t.json --metrics m.json [--expect-workers N]
 //   obs_check --bench b.json [--expect-warm-hits] [--expect-engine NAME]
 //   obs_check --flight f.jsonl [--metrics m.json]
+//   obs_check --pdwd scrape.json [--expect-solves N] [--expect-warm-solves]
+//
+// Pdwd checks: the daemon's `pdwd.*` request-accounting counters, read from
+// a raw pdw-metrics-1 export or straight from a `pdw-resp-1` metrics-scrape
+// response line. Validates the outcome-partition invariant (solve_ok +
+// budget_hits + deadline_expired + rejected_queue_full <= requests), that
+// plan-cache hits never exceed completed solves, and optionally an exact
+// completed-solve count / a warm-serve requirement.
 //
 // Flight checks: a `pdw-flight-1` JSONL stream (obs/flight.h) — every line
 // parses, solve headers carry lane/status/wall/counts/dropped/events, each
@@ -394,6 +402,79 @@ void reconcileFlight(const FlightTotals& totals,
                  totals.solve_headers, solves);
 }
 
+// ---- pdwd daemon counters (`pdwd.*`) -------------------------------------
+
+/// Validate the pdwd request-accounting counters of a pdw-metrics-1 export.
+/// The file may be either a raw registry export or one `pdw-resp-1` metrics
+/// response line (the scrape embeds the export as its `metrics` member), so
+/// tier1.sh can feed a scraped response straight in. Checks the partition
+/// invariant documented in obs/metric_names.h: every admitted solve ends as
+/// exactly one of solve_ok / budget_hits / deadline_expired, so those plus
+/// rejected_queue_full can never exceed pdwd.requests; plan-cache hits can
+/// only come from completed solves.
+void checkPdwd(const std::string& path, long long expect_solves,
+               bool expect_warm_solves) {
+  const std::string text = slurp(path);
+  if (text.empty()) return fail("pdwd file empty or unreadable: " + path);
+  auto doc = pdw::obs::json::parse(text);
+  if (!doc && text.find('\n') != std::string::npos)
+    doc = pdw::obs::json::parse(text.substr(0, text.find('\n')));
+  if (!doc || !doc->isObject()) return fail("pdwd file is not a JSON object");
+
+  const Value* root = &*doc;
+  const Value* schema = root->find("schema");
+  if (schema && schema->isString() && schema->string == "pdw-resp-1") {
+    root = root->find("metrics");
+    if (!root || !root->isObject())
+      return fail("pdwd response has no embedded 'metrics' object");
+  }
+  schema = root->find("schema");
+  if (!schema || !schema->isString() || schema->string != "pdw-metrics-1")
+    fail("pdwd metrics schema tag is not 'pdw-metrics-1'");
+  const Value* metrics = root->find("metrics");
+  if (!metrics || !metrics->isObject())
+    return fail("pdwd export has no 'metrics' object");
+
+  const auto counter = [&](const char* name, bool required) -> double {
+    const Value* entry = metrics->find(name);
+    const Value* v = entry ? entry->find("value") : nullptr;
+    if (!v || !v->isNumber() || v->number < 0) {
+      if (required)
+        fail(std::string("missing or negative pdwd counter '") + name + "'");
+      return 0.0;
+    }
+    return v->number;
+  };
+
+  const double requests = counter("pdwd.requests", true);
+  const double ok = counter("pdwd.solve_ok", true);
+  const double budget = counter("pdwd.budget_hits", false);
+  const double deadline = counter("pdwd.deadline_expired", false);
+  const double rejected = counter("pdwd.rejected_queue_full", false);
+  const double hits = counter("pdwd.plan_cache.hits", false);
+  const double misses = counter("pdwd.plan_cache.misses", false);
+
+  if (ok + budget + deadline + rejected > requests)
+    fail("pdwd outcome counters exceed pdwd.requests: " +
+         std::to_string(ok + budget + deadline + rejected) + " > " +
+         std::to_string(requests));
+  if (hits > ok + budget)
+    fail("pdwd.plan_cache.hits " + std::to_string(hits) +
+         " exceeds completed solves " + std::to_string(ok + budget));
+  if (expect_solves >= 0 &&
+      static_cast<long long>(ok + budget) != expect_solves)
+    fail("expected exactly " + std::to_string(expect_solves) +
+         " completed pdwd solves, counted " +
+         std::to_string(static_cast<long long>(ok + budget)));
+  if (expect_warm_solves && hits <= 0)
+    fail("expected pdwd.plan_cache.hits > 0 (no warm solve ever served)");
+  std::fprintf(stderr,
+               "obs_check: pdwd requests %.0f = ok %.0f + budget %.0f + "
+               "deadline %.0f + rejected %.0f + other; plan cache %0.f/%.0f "
+               "warm\n",
+               requests, ok, budget, deadline, rejected, hits, hits + misses);
+}
+
 void checkBench(const std::string& path, bool expect_warm_hits,
                 const std::string& expect_engine) {
   const std::string text = slurp(path);
@@ -464,9 +545,11 @@ void checkBench(const std::string& path, bool expect_warm_hits,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path, metrics_path, bench_path, flight_path;
+  std::string trace_path, metrics_path, bench_path, flight_path, pdwd_path;
   std::string expect_engine;
   bool expect_warm_hits = false;
+  bool expect_warm_solves = false;
+  long long expect_solves = -1;
   int expect_workers = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -490,6 +573,14 @@ int main(int argc, char** argv) {
       if (v) flight_path = v;
     } else if (arg == "--expect-warm-hits") {
       expect_warm_hits = true;
+    } else if (arg == "--pdwd") {
+      const char* v = next();
+      if (v) pdwd_path = v;
+    } else if (arg == "--expect-solves") {
+      const char* v = next();
+      if (v) expect_solves = std::atoll(v);
+    } else if (arg == "--expect-warm-solves") {
+      expect_warm_solves = true;
     } else if (arg == "--expect-engine") {
       const char* v = next();
       if (v) expect_engine = v;
@@ -505,12 +596,13 @@ int main(int argc, char** argv) {
                    "usage: obs_check [--trace FILE] [--metrics FILE] "
                    "[--expect-workers N] [--bench FILE] "
                    "[--flight FILE.jsonl] [--expect-warm-hits] "
-                   "[--expect-engine NAME]\n");
+                   "[--expect-engine NAME] [--pdwd FILE] "
+                   "[--expect-solves N] [--expect-warm-solves]\n");
       return 2;
     }
   }
   if (trace_path.empty() && metrics_path.empty() && bench_path.empty() &&
-      flight_path.empty()) {
+      flight_path.empty() && pdwd_path.empty()) {
     std::fprintf(stderr, "obs_check: nothing to check\n");
     return 2;
   }
@@ -522,6 +614,8 @@ int main(int argc, char** argv) {
     const FlightTotals totals = checkFlight(flight_path);
     if (!metrics_path.empty()) reconcileFlight(totals, metrics_path);
   }
+  if (!pdwd_path.empty())
+    checkPdwd(pdwd_path, expect_solves, expect_warm_solves);
   if (failures == 0) {
     std::fprintf(stderr, "obs_check: OK\n");
     return 0;
