@@ -48,16 +48,24 @@ void LineClient::close() {
   buffer_.clear();
 }
 
-std::optional<std::string> LineClient::roundTrip(std::string_view line) {
-  if (fd_ < 0) return std::nullopt;
+bool LineClient::send(std::string_view line) {
+  if (fd_ < 0) return false;
   std::string out(line);
   out.push_back('\n');
   std::size_t written = 0;
   while (written < out.size()) {
-    const ssize_t w = ::write(fd_, out.data() + written, out.size() - written);
-    if (w <= 0) return std::nullopt;
+    // MSG_NOSIGNAL: a daemon that already closed the connection must surface
+    // as a failed send (EPIPE), not a SIGPIPE in the client process.
+    const ssize_t w = ::send(fd_, out.data() + written, out.size() - written,
+                             MSG_NOSIGNAL);
+    if (w <= 0) return false;
     written += static_cast<std::size_t>(w);
   }
+  return true;
+}
+
+std::optional<std::string> LineClient::roundTrip(std::string_view line) {
+  if (!send(line)) return std::nullopt;
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {

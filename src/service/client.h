@@ -27,6 +27,11 @@ class LineClient {
   bool connected() const { return fd_ >= 0; }
   void close();
 
+  /// Send `line` (a newline is appended) without waiting for the response.
+  /// False on any I/O failure. Lets a caller hang up before the daemon
+  /// replies — the disconnect-before-read tests use this.
+  bool send(std::string_view line);
+
   /// Send `line` (a newline is appended) and block for the one response
   /// line. nullopt on any I/O failure or EOF.
   std::optional<std::string> roundTrip(std::string_view line);

@@ -120,12 +120,6 @@ std::string Daemon::handleLine(std::string_view line) {
     }
   }
 
-  // A client bumping its cache generation invalidates before solving.
-  if (req.cache_version > plan_cache_.version()) {
-    plan_cache_.bumpTo(req.cache_version);
-    route_cache_->invalidate();
-  }
-
   Job job;
   job.req = std::move(req);
   job.admitted = Clock::now();
@@ -140,6 +134,15 @@ std::string Daemon::handleLine(std::string_view line) {
       SolveReply reply;
       reply.status = "rejected";
       return solveResponse(job.req.id, trace, reply);
+    }
+    // A cache-using client bumping its generation invalidates before its
+    // solve runs. Only now — a request rejected above, or one opting out of
+    // the caches, must not wipe shared state for every other client. Done
+    // under queue_mutex_ so the job cannot be dequeued before the bump.
+    if (job.req.use_cache &&
+        job.req.cache_version > plan_cache_.version()) {
+      plan_cache_.bumpTo(job.req.cache_version);
+      route_cache_->invalidate();
     }
     queue_.push_back(&job);
     obs::Registry::instance()
@@ -245,9 +248,21 @@ SolveReply Daemon::solveRequest(const Request& req, double remaining_s,
   double budget_s =
       req.budget_s > 0.0 ? req.budget_s : options_.default_budget_s;
   double path_budget_s = options_.path_budget_s;
+  // When the remaining deadline caps a budget, the solver config absorbs a
+  // measured wall-clock value — a near-unique fingerprint that would
+  // pollute the plan-cache key space (never warm-hitting, LRU-evicting
+  // useful entries) and could memoize a deadline-truncated result. Such
+  // requests bypass the plan cache entirely; the deadline still binds.
+  bool deadline_capped = false;
   if (remaining_s >= 0.0) {
-    budget_s = std::min(budget_s, remaining_s);
-    path_budget_s = std::min(path_budget_s, remaining_s);
+    if (remaining_s < budget_s) {
+      budget_s = remaining_s;
+      deadline_capped = true;
+    }
+    if (remaining_s < path_budget_s) {
+      path_budget_s = remaining_s;
+      deadline_capped = true;
+    }
   }
 
   core::PdwOptions options;
@@ -275,8 +290,9 @@ SolveReply Daemon::solveRequest(const Request& req, double remaining_s,
       util::hash::combineBytes(0x70647764u /* 'pdwd' */, config.data(),
                                config.size());
 
+  const bool use_plan_cache = req.use_cache && !deadline_capped;
   std::uint64_t version = 0;
-  if (req.use_cache) {
+  if (use_plan_cache) {
     version = plan_cache_.version();
     if (std::optional<CachedPlan> cached = plan_cache_.lookup(key)) {
       reply.status = cached->status;
@@ -303,7 +319,7 @@ SolveReply Daemon::solveRequest(const Request& req, double remaining_s,
   reply.proven_optimal = result.plan.proven_optimal;
   reply.plan = canonicalPlan(schedule);
 
-  if (req.use_cache) {
+  if (use_plan_cache) {
     CachedPlan cached;
     cached.status = reply.status;
     cached.n_wash = reply.n_wash;

@@ -132,8 +132,14 @@ ParsedRequest parseRequest(std::string_view line) {
   double version = 0.0;
   if (auto err = readNumber(*doc, "cache_version", &version))
     return fail(err->message, err->code);
-  if (version < 0.0 || version != std::floor(version))
-    return fail("cache_version must be a non-negative integer", "value");
+  // Bound at 2^53, the last exact double integer: beyond it the value is
+  // ambiguous, and a huge value (say 1e300) would make the uint64 cast
+  // undefined behavior — or park the cache one ++ away from wrapping to 0.
+  constexpr double kMaxCacheVersion = 9007199254740992.0;  // 2^53
+  if (version < 0.0 || version != std::floor(version) ||
+      version >= kMaxCacheVersion)
+    return fail("cache_version must be a non-negative integer below 2^53",
+                "value");
   req.cache_version = static_cast<std::uint64_t>(version);
 
   if (req.budget_s < 0.0) return fail("budget_s must be >= 0", "value");

@@ -68,18 +68,35 @@ void SocketServer::run() {
       if (errno == EINTR) continue;
       break;  // listen socket shut down by stop()
     }
-    connections_.emplace_back([this, fd] { serveConnection(fd); });
+    reapFinished();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, fd, done] {
+      serveConnection(fd);
+      done->store(true, std::memory_order_release);
+    });
+    connections_.push_back({std::move(thread), std::move(done)});
   }
   // run() owns the joins: stop() only unblocks accept(), so a connection
   // thread that triggers shutdown never tries to join itself.
-  for (std::thread& t : connections_)
-    if (t.joinable()) t.join();
+  for (Connection& c : connections_)
+    if (c.thread.joinable()) c.thread.join();
   connections_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   PDW_LOG(Info, "pdwd") << "server loop done";
+}
+
+void SocketServer::reapFinished() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();  // finished: the join cannot block
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SocketServer::stop() {
@@ -114,8 +131,12 @@ void SocketServer::serveConnection(int fd) {
         const std::string out = daemon_.handleLine(buffer) + "\n";
         std::size_t written = 0;
         while (written < out.size()) {
-          const ssize_t w =
-              ::write(fd, out.data() + written, out.size() - written);
+          // MSG_NOSIGNAL: a peer that hung up before reading its response
+          // (normal for clients with timeouts) yields EPIPE here instead of
+          // delivering SIGPIPE, whose default disposition would kill the
+          // whole daemon.
+          const ssize_t w = ::send(fd, out.data() + written,
+                                   out.size() - written, MSG_NOSIGNAL);
           if (w <= 0) {
             ::close(fd);
             return;

@@ -14,7 +14,9 @@
 // in-flight response has been written.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,12 +53,24 @@ class SocketServer {
   const std::string& path() const { return path_; }
 
  private:
+  /// A connection thread plus its completion flag. The flag lets the accept
+  /// loop join-and-erase finished threads as it goes, so a long-running
+  /// daemon serving many short-lived connections does not accumulate
+  /// exited-but-unjoined threads without bound.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void serveConnection(int fd);
+  /// Join and drop every connection whose thread has finished. Only called
+  /// from the accept loop (run()), which is the sole owner of connections_.
+  void reapFinished();
 
   Daemon& daemon_;
   std::string path_;
   int listen_fd_ = -1;
-  std::vector<std::thread> connections_;
+  std::vector<Connection> connections_;
 };
 
 }  // namespace pdw::service

@@ -22,7 +22,8 @@
 //                    readers survive repeated invalidation (TSAN target)
 //   PlanCacheVersion versioned plan-cache unit tests (bumpTo, stale drop)
 //   PdwdSocket       SocketServer + LineClient round trip, oversize
-//                    recovery, shutdown ends the accept loop
+//                    recovery, disconnect-before-read survival (SIGPIPE),
+//                    shutdown ends the accept loop
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -212,6 +213,30 @@ TEST(PdwdProtocol, RejectsValueErrors) {
             "value");
 }
 
+TEST(PdwdProtocol, RejectsCacheVersionBeyondExactDoubles) {
+  // 2^53 is the last double-exact integer: a larger value is ambiguous and
+  // the uint64 cast would be UB for huge magnitudes (e.g. 1e300), while a
+  // value near UINT64_MAX would park the version one ++ away from wrapping.
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+                         "\"cache_version\":1e300}")
+                .error_code,
+            "value");
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+                         "\"cache_version\":9007199254740992}")
+                .error_code,
+            "value");
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+                         "\"cache_version\":18446744073709551615}")
+                .error_code,
+            "value");
+  // The largest exact integer below the bound round-trips precisely.
+  const auto ok = parseRequest(
+      "{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+      "\"cache_version\":9007199254740991}");
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.request->cache_version, 9007199254740991ull);
+}
+
 TEST(PdwdProtocol, RejectsOversizedLines) {
   // One byte over the documented cap is refused before any JSON parsing.
   std::string big = "{\"schema\":\"pdw-req-1\",\"id\":\"";
@@ -398,6 +423,98 @@ TEST(PdwdDaemon, SolveWarmsAndInvalidates) {
                 delta.counter(obs::names::kPdwdDeadlineExpired) +
                 delta.counter(obs::names::kPdwdRejectedQueueFull),
             delta.counter(obs::names::kPdwdRequests));
+}
+
+/// The cache_version bump is an admission-gated side effect: a rejected
+/// request, or one opting out of the caches, must not wipe shared state
+/// for every other client.
+TEST(PdwdDaemon, CacheVersionBumpRequiresAdmission) {
+  const obs::MetricsSnapshot baseline = obs::Registry::instance().snapshot();
+  DaemonOptions options;
+  options.lanes = 1;
+  options.queue_capacity = 1;
+  options.threads = 1;
+  Daemon daemon(options);
+  const std::uint64_t v0 = daemon.cacheVersion();
+
+  // cache:false never bumps, whatever generation it claims.
+  obs::json::Value optout = parseResponse(daemon.handleLine(
+      sleepLine("no-cache", 1, ",\"cache\":false,\"cache_version\":50")));
+  EXPECT_EQ(str(optout, "status"), "ok");
+  EXPECT_EQ(daemon.cacheVersion(), v0);
+
+  // Occupy the lane and the single queue slot (the opt-out solve above
+  // already contributed one queue-wait observation).
+  std::string reply_a, reply_b;
+  std::thread ta([&] { reply_a = daemon.handleLine(sleepLine("a", 600)); });
+  awaitTrue(
+      [&] {
+        return histCount(obs::Registry::instance().snapshot().since(baseline),
+                         obs::names::kPdwdQueueWaitSeconds) >= 2;
+      },
+      "the holder to reach the lane");
+  std::thread tb([&] { reply_b = daemon.handleLine(sleepLine("b", 5)); });
+  awaitTrue(
+      [&] {
+        return obs::Registry::instance()
+                   .snapshot()
+                   .gauge(obs::names::kPdwdQueueDepth) >= 1.0;
+      },
+      "the filler to be queued");
+
+  // Queue-full rejection happens before the bump: version is untouched.
+  obs::json::Value rejected = parseResponse(
+      daemon.handleLine(sleepLine("r", 5, ",\"cache_version\":50")));
+  EXPECT_EQ(str(rejected, "status"), "rejected");
+  EXPECT_EQ(daemon.cacheVersion(), v0);
+
+  ta.join();
+  tb.join();
+  EXPECT_EQ(str(parseResponse(reply_a), "status"), "ok");
+  EXPECT_EQ(str(parseResponse(reply_b), "status"), "ok");
+
+  // An admitted cache-using solve with a higher generation does bump.
+  obs::json::Value bumped = parseResponse(
+      daemon.handleLine(sleepLine("ok", 1, ",\"cache_version\":50")));
+  EXPECT_EQ(str(bumped, "status"), "ok");
+  EXPECT_EQ(daemon.cacheVersion(), 50u);
+  daemon.shutdown();
+}
+
+/// A deadline that caps the solver budget folds a measured wall-clock value
+/// into the config fingerprint; such requests must bypass the plan cache on
+/// both lookup and insert (near-unique keys would never warm-hit and would
+/// LRU-evict useful entries).
+TEST(PdwdDaemon, DeadlineCappedSolvesBypassPlanCache) {
+  DaemonOptions options;
+  options.lanes = 1;
+  options.threads = 1;
+  options.default_budget_s = 60.0;
+  Daemon daemon(options);
+
+  // The 30 s deadline caps the 60 s budget. Kinase act-1 proves optimal in
+  // well under a second, so the solve itself is unaffected — but nothing
+  // may be inserted under the deadline-derived key.
+  obs::json::Value capped = parseResponse(daemon.handleLine(
+      solveLine("d1", "Kinase act-1", ",\"deadline_ms\":30000")));
+  EXPECT_EQ(str(capped, "status"), "ok");
+  EXPECT_FALSE(boolean(capped, "warm"));
+  const std::string plan = str(capped, "plan");
+  EXPECT_FALSE(plan.empty());
+
+  // An identical uncapped request is still cold: the capped solve did not
+  // populate the cache.
+  obs::json::Value cold =
+      parseResponse(daemon.handleLine(solveLine("d2", "Kinase act-1")));
+  EXPECT_EQ(str(cold, "status"), "ok");
+  EXPECT_FALSE(boolean(cold, "warm"));
+  EXPECT_EQ(str(cold, "plan"), plan);  // same deterministic answer
+
+  // A further capped request skips lookup too — cold again by design.
+  obs::json::Value capped2 = parseResponse(daemon.handleLine(
+      solveLine("d3", "Kinase act-1", ",\"deadline_ms\":30000")));
+  EXPECT_FALSE(boolean(capped2, "warm"));
+  daemon.shutdown();
 }
 
 TEST(PdwdDaemon, StdioBatchStopsAtShutdown) {
@@ -785,6 +902,22 @@ TEST(PdwdSocket, RoundTripOversizeRecoveryAndShutdown) {
   response = client.roundTrip(
       "{\"schema\":\"pdw-req-1\",\"type\":\"ping\",\"id\":\"p2\"}");
   ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(str(parseResponse(*response), "status"), "ok");
+
+  // A client that hangs up before reading its response must not bring the
+  // daemon down: the connection thread's write sees EPIPE (MSG_NOSIGNAL),
+  // never a process-fatal SIGPIPE. Several in a row to make a racy escape
+  // unlikely, then prove the daemon is still alive on the first connection.
+  for (int i = 0; i < 3; ++i) {
+    service::LineClient impatient;
+    awaitTrue([&] { return impatient.connect(path); }, "impatient connect",
+              10.0);
+    ASSERT_TRUE(impatient.send(sleepLine("gone-" + std::to_string(i), 30)));
+    impatient.close();  // disconnect with the response still unwritten
+  }
+  response = client.roundTrip(
+      "{\"schema\":\"pdw-req-1\",\"type\":\"ping\",\"id\":\"alive\"}");
+  ASSERT_TRUE(response.has_value()) << "daemon died after client hangups";
   EXPECT_EQ(str(parseResponse(*response), "status"), "ok");
 
   // A shutdown request ends the accept loop; run() joins and returns.

@@ -22,6 +22,7 @@
 // The daemon exits after a `{"schema":"pdw-req-1","type":"shutdown"}`
 // request (in-flight solves drain first) or, in --stdio mode, at EOF.
 // See README "Running pdwd" for client one-liners.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +52,10 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A resident daemon must outlive its clients: a peer that disconnects
+  // before reading its response would otherwise SIGPIPE-kill the process.
+  // Socket writes also pass MSG_NOSIGNAL, but stdio mode writes to a pipe.
+  std::signal(SIGPIPE, SIG_IGN);
   std::string socket_path, metrics_out, log_level;
   bool stdio = false;
   pdw::service::DaemonOptions options;
