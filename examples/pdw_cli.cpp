@@ -16,6 +16,7 @@
 #include "assay/benchmarks.h"
 #include "baseline/dawo.h"
 #include "core/pipeline.h"
+#include "core/schedule_delta.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +43,7 @@ struct CliOptions {
   std::string metrics_out;  ///< metrics registry JSON path
   std::string flight_out;   ///< flight-recorder JSONL path (dump all solves)
   double flight_slow = 0;   ///< >0: dump only solves slower than this (s)
+  std::vector<std::string> resolve_deltas;  ///< --resolve-delta specs, in order
   core::PdwOptions pdw;
 };
 
@@ -66,6 +68,13 @@ void printUsage() {
       "  --no-integration   disable removal integration\n"
       "  --no-ilp-paths     BFS wash paths instead of the ILP\n"
       "  --no-ilp-schedule  greedy insertion instead of the scheduling ILP\n"
+      "  --resolve-delta S  after the PDW solve, replay a perturbation\n"
+      "                     through the incremental resolver (repeatable;\n"
+      "                     deltas compose in order). Spec forms:\n"
+      "                       op:ID:SECONDS     delay operation ID\n"
+      "                       task:ID:SECONDS   delay fluidic task ID\n"
+      "                       block:X:Y         block cell (x, y)\n"
+      "                       remove:ID         cancel waste-bound task ID\n"
       "  --gantt            print ASCII Gantt charts\n"
       "  --csv              machine-readable output\n"
       "  --trace-out=FILE   write a Chrome trace (chrome://tracing,\n"
@@ -80,6 +89,40 @@ void printUsage() {
       "  --log-level LEVEL  trace|debug|info|warn|error|off (also via the\n"
       "                     PDW_LOG_LEVEL environment variable)\n"
       "  --log LEVEL        alias for --log-level\n";
+}
+
+/// Parse one --resolve-delta spec (see printUsage) into a ScheduleDelta.
+bool parseDeltaSpec(const std::string& spec, core::ScheduleDelta* delta) {
+  const std::vector<std::string> parts = util::split(spec, ':');
+  const auto integer = [](const std::string& s, int* out) {
+    if (s.empty() || s.size() > 9) return false;
+    for (const char c : s)
+      if (c < '0' || c > '9') return false;
+    *out = std::atoi(s.c_str());
+    return true;
+  };
+  int id = -1;
+  if (parts.size() == 3 && (parts[0] == "op" || parts[0] == "task")) {
+    const double seconds = std::atof(parts[2].c_str());
+    if (!integer(parts[1], &id) || seconds <= 0.0) return false;
+    if (parts[0] == "op")
+      delta->op_delays.push_back({id, seconds});
+    else
+      delta->task_delays.push_back({id, seconds});
+    return true;
+  }
+  if (parts.size() == 3 && parts[0] == "block") {
+    int x = -1, y = -1;
+    if (!integer(parts[1], &x) || !integer(parts[2], &y)) return false;
+    delta->blocked_cells.push_back(arch::Cell{x, y});
+    return true;
+  }
+  if (parts.size() == 2 && parts[0] == "remove") {
+    if (!integer(parts[1], &id)) return false;
+    delta->removed_tasks.push_back(id);
+    return true;
+  }
+  return false;
 }
 
 std::optional<assay::BenchmarkId> parseBenchmark(const std::string& name) {
@@ -176,6 +219,17 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
       options.pdw.use_ilp_paths = false;
     } else if (arg == "--no-ilp-schedule") {
       options.pdw.use_ilp_schedule = false;
+    } else if (arg == "--resolve-delta") {
+      const auto value = value_of(i);
+      if (!value) return std::nullopt;
+      core::ScheduleDelta probe;  // validate the spec shape up front
+      if (!parseDeltaSpec(*value, &probe)) {
+        std::cerr << "bad --resolve-delta spec '" << *value
+                  << "' (op:ID:SECONDS | task:ID:SECONDS | block:X:Y | "
+                     "remove:ID)\n";
+        return std::nullopt;
+      }
+      options.resolve_deltas.push_back(*value);
     } else if (arg == "--gantt") {
       options.gantt = true;
     } else if (arg == "--csv") {
@@ -270,6 +324,31 @@ int main(int argc, char** argv) {
     if (options.run_pdw) {
       Pipeline pipeline(options.pdw);
       report("PDW", pipeline.run(base.schedule).plan);
+      // One-shot replay: each --resolve-delta composes on the previous one
+      // through the resident pipeline, exactly like a pdwd resolve stream.
+      int nth = 0;
+      for (const std::string& spec : options.resolve_deltas) {
+        core::ScheduleDelta delta;
+        parseDeltaSpec(spec, &delta);  // shape was validated at parse time
+        const PdwResult result = pipeline.resolve(delta);
+        ++nth;
+        if (!result.resolve.valid) {
+          std::cerr << "resolve-delta " << nth << " (" << spec
+                    << ") rejected: " << result.resolve.error << "\n";
+          all_valid = false;
+          continue;
+        }
+        report(("PDW+d" + std::to_string(nth)).c_str(), result.plan);
+        std::cerr << "resolve-delta " << nth << " (" << spec << "): "
+                  << result.resolve.frontier_cells << " frontier / "
+                  << result.resolve.reused_cells << " reused cells, "
+                  << result.resolve.routes_reused << " routes reused"
+                  << (result.resolve.full_fallback ? ", full fallback" : "")
+                  << "\n";
+      }
+    } else if (!options.resolve_deltas.empty()) {
+      std::cerr << "--resolve-delta needs the PDW method\n";
+      all_valid = false;
     }
     if (options.run_dawo) report("DAWO", baseline::runDawo(base.schedule));
   }

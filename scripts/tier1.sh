@@ -12,10 +12,15 @@
 # (a stdio request batch through the resident daemon, then a unix-socket
 # daemon loaded by bench_pdwd --quick: warm-rate/speedup gates, counters
 # reconciled by obs_check --pdwd, run record diffed against the frozen
-# pdwd-quick-baseline label in BENCH_runs.jsonl by pdw_report), the ILP
-# numerics tests under ASan+UBSan, then the parallel-runtime + obs +
-# daemon-concurrency tests (determinism, route cache + epochs,
-# tracing/metrics/logging, byte-identical concurrent pdwd plans) under
+# pdwd-quick-baseline label in BENCH_runs.jsonl by pdw_report), an online
+# re-wash smoke (bench_rewash --quick replays seeded delta streams, asserts
+# N_wash identity between incremental resolve and cold re-solve, gates a
+# >= 5x speedup, pdw.resolve.* partition invariants reconciled by obs_check
+# --resolve, run record diffed against the frozen rewash-quick-baseline
+# label), the ILP numerics + JSON decoder tests under ASan+UBSan, then the
+# parallel-runtime + obs + daemon-concurrency tests (determinism, route
+# cache + epochs, tracing/metrics/logging, byte-identical concurrent pdwd
+# plans, rescheduler thread-count determinism, invalidate coherence) under
 # ThreadSanitizer.
 #
 #   scripts/tier1.sh            # all stages
@@ -115,15 +120,37 @@ cat "$obs_dir/pdwd_runs.jsonl" >> "$obs_dir/pdwd_store.jsonl"
   --label tier1-pdwd --against-label pdwd-quick-baseline \
   --metrics warm_miss_rate,wall_seconds --max-regression 300% --min-wall 5
 
+echo "== tier-1: online re-wash smoke (bench_rewash --quick + pdw_report) =="
+# A resident pipeline replays a seeded perturbation stream (op/task delays)
+# per quick benchmark, solving each delta both incrementally
+# (Pipeline::resolve) and cold from scratch. The bench itself asserts
+# N_wash identity on every delta and gates a >= 5x speedup (latency or
+# simplex iterations); obs_check --resolve reconciles the pdw.resolve.*
+# partition invariants from the metrics scrape; pdw_report then diffs the
+# run record against the frozen rewash-quick-baseline label committed in
+# BENCH_runs.jsonl — nwash_mismatches is the deterministic gate (baseline
+# 0, any mismatch is +inf); wall_seconds gets a generous threshold plus a
+# noise floor because cold re-solves dominate wall time and are noisy.
+./build/bench/bench_rewash --quick --expect-speedup 5 \
+  --json-out "$obs_dir/rewash.json" \
+  --run-store "$obs_dir/rewash_runs.jsonl" --label tier1-rewash \
+  --metrics-out "$obs_dir/rewash_metrics.json"
+./build/tools/obs_check --resolve "$obs_dir/rewash_metrics.json"
+cp BENCH_runs.jsonl "$obs_dir/rewash_store.jsonl"
+cat "$obs_dir/rewash_runs.jsonl" >> "$obs_dir/rewash_store.jsonl"
+./build/tools/pdw_report --store "$obs_dir/rewash_store.jsonl" \
+  --label tier1-rewash --against-label rewash-quick-baseline \
+  --metrics nwash_mismatches,wall_seconds --max-regression 300% --min-wall 10
+
 if [[ "${PDW_SKIP_ASAN:-0}" == "1" ]]; then
   echo "== tier-1: ASan/UBSan stage skipped (PDW_SKIP_ASAN=1) =="
 else
-  echo "== tier-1: ASan/UBSan build + ILP numerics tests =="
+  echo "== tier-1: ASan/UBSan build + ILP numerics / JSON decoder tests =="
   cmake -B build-asan -S . -DPDW_ASAN=ON >/dev/null
   cmake --build build-asan -j --target pdw_tests
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="print_stacktrace=1" \
     ./build-asan/tests/pdw_tests \
-    --gtest_filter='BasisLu.*:BackendDifferential.*:BothEngines/*:DenseWarmPath.*:Simplex.*:Mip.*:WarmStart.*:Model.*:Presolve.*:LinExpr.*'
+    --gtest_filter='BasisLu.*:BackendDifferential.*:BothEngines/*:DenseWarmPath.*:Simplex.*:Mip.*:WarmStart.*:Model.*:Presolve.*:LinExpr.*:ObsJson.*'
 fi
 
 if [[ "${PDW_SKIP_TSAN:-0}" == "1" ]]; then
@@ -136,6 +163,6 @@ cmake -B build-tsan -S . -DPDW_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target pdw_tests
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/pdw_tests \
-  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*:ObsTrace.*:ObsMetrics.*:ObsLogging.*:PdwdConcurrency.*:RouteCacheEpoch.*'
+  --gtest_filter='*ParallelDeterminism*:*IlpPathDeterminism*:RouteCache.*:ObsTrace.*:ObsMetrics.*:ObsLogging.*:PdwdConcurrency.*:RouteCacheEpoch.*:*ByteIdenticalAcrossThreadCounts*'
 
 echo "== tier-1: OK =="

@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -56,12 +58,15 @@ RouteOutcome routeOperation(const arch::ChipLayout& chip,
   if (options.use_ilp_paths) {
     out.path = core::routeWashPathIlp(chip, targets, options.path);
   } else {
-    out.path = core::routeWashPathHeuristic(chip, targets);
+    out.path = core::routeWashPathHeuristic(chip, targets,
+                                            options.path.avoid_cells);
   }
   if (!out.path) {
-    // Last resort: the heuristic on the whole grid. Target cells are on
-    // used flow paths, so ports can always reach them.
-    out.path = core::routeWashPathHeuristic(chip, targets);
+    // Last resort: the heuristic on the whole grid (minus avoided cells —
+    // those are hard constraints). Target cells are on used flow paths, so
+    // ports can always reach them.
+    out.path = core::routeWashPathHeuristic(chip, targets,
+                                            options.path.avoid_cells);
   }
   if (cache != nullptr) cache->insert(key, out.path, epoch);
   return out;
@@ -98,6 +103,18 @@ void finalizeMetrics(PdwResult& result,
 }
 
 }  // namespace
+
+/// Everything resolve() needs from the previous solve: the base schedule it
+/// was (re)based on, the memoized per-cell necessity analysis, and the
+/// blocked cells accumulated from earlier deltas. run() re-primes it from
+/// scratch; every successful resolve() re-bases it on the perturbed
+/// schedule, so deltas compose.
+struct Pipeline::ResolveState {
+  assay::AssaySchedule base;
+  wash::NecessityMemo memo;
+  std::vector<arch::Cell> blocked;  ///< sorted, deduplicated
+  bool primed = false;
+};
 
 Pipeline::Pipeline(core::PdwOptions options) : options_(std::move(options)) {
   obs::setThreadName("pdw-main");
@@ -163,9 +180,11 @@ core::RouteCacheStats Pipeline::cacheStats() const {
   return cache_ ? cache_->stats() : core::RouteCacheStats{};
 }
 
-PdwResult Pipeline::run(const assay::AssaySchedule& base) {
+PdwResult Pipeline::execute(const assay::AssaySchedule& base,
+                            wash::NecessityDeltaStats* delta_stats) {
   const auto run_start = Clock::now();
-  PDW_TRACE_SPAN("pipeline", "run");
+  const bool incremental = delta_stats != nullptr;
+  PDW_TRACE_SPAN("pipeline", incremental ? "resolve" : "run");
   obs::Registry& reg = obs::Registry::instance();
   const obs::MetricsSnapshot metrics_before = reg.snapshot();
   PdwResult result;
@@ -173,13 +192,34 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
   result.threads = pool_->size();
   const core::RouteCacheStats cache_before = cacheStats();
 
-  // 1. Contamination replay + necessity analysis (eqs. 9-11).
+  // Delta-blocked cells join any caller-configured avoidance for this
+  // solve's routing (and its route-cache keys).
+  core::PdwOptions solve_options = options_;
+  if (resolve_state_ && !resolve_state_->blocked.empty()) {
+    auto& avoid = solve_options.path.avoid_cells;
+    avoid.insert(avoid.end(), resolve_state_->blocked.begin(),
+                 resolve_state_->blocked.end());
+    std::sort(avoid.begin(), avoid.end());
+    avoid.erase(std::unique(avoid.begin(), avoid.end()), avoid.end());
+  }
+
+  // 1. Contamination replay + necessity analysis (eqs. 9-11). The
+  // incremental path re-walks only cells whose use list the delta moved;
+  // everything else is copied from the memo, so the merged result is
+  // bit-identical to a full analysis of `base`.
   auto stage_start = Clock::now();
   wash::NecessityResult necessity;
   {
     PDW_TRACE_SPAN("pipeline", "necessity_analysis");
     const wash::ContaminationTracker tracker(base);
-    necessity = analyzeWashNecessity(tracker, options_.necessity);
+    if (incremental) {
+      necessity = analyzeWashNecessityDelta(tracker, resolve_state_->memo,
+                                            options_.necessity, delta_stats);
+    } else {
+      necessity = analyzeWashNecessity(
+          tracker, options_.necessity,
+          resolve_state_ ? &resolve_state_->memo : nullptr);
+    }
   }
   result.plan.necessity = necessity.stats;
   reg.counter(obs::names::kNecessityTargets).add(necessity.stats.targets);
@@ -224,7 +264,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     PDW_TRACE_SPAN("pipeline", "routing");
     pool_->parallelFor(washes.size(), [&](std::size_t i) {
       PDW_TRACE_SPAN_ID("routing", "wash_op", i);
-      outcomes[i] = routeOperation(base.chip(), target_cells[i], options_,
+      outcomes[i] = routeOperation(base.chip(), target_cells[i], solve_options,
                                    cache_.get());
     });
   }
@@ -270,6 +310,7 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
     ilp_options.enable_integration = options_.enable_integration;
     ilp_options.solver = options_.solver.schedule;
     ilp_options.pool = pool_.get();
+    ilp_options.repair_mode = incremental;
     // Portfolio race: a second lane dives for incumbents and certifies
     // optimality early; the canonical search still owns the returned
     // assignment (see ilp::SolveParams::portfolio_threads).
@@ -312,6 +353,90 @@ PdwResult Pipeline::run(const assay::AssaySchedule& base) {
       cache_after.invalidations - cache_before.invalidations;
 
   finalizeMetrics(result, metrics_before);
+  return result;
+}
+
+PdwResult Pipeline::run(const assay::AssaySchedule& base) {
+  if (!resolve_state_) resolve_state_ = std::make_unique<ResolveState>();
+  // Fresh priming: forget blocked cells and the old memo (execute() refills
+  // the memo as a side effect of the full necessity analysis).
+  resolve_state_->blocked.clear();
+  resolve_state_->memo = wash::NecessityMemo{};
+  resolve_state_->primed = false;
+  PdwResult result = execute(base, nullptr);
+  resolve_state_->base = base;
+  resolve_state_->primed = true;
+  return result;
+}
+
+bool Pipeline::canResolve() const {
+  return resolve_state_ != nullptr && resolve_state_->primed;
+}
+
+PdwResult Pipeline::resolve(const core::ScheduleDelta& delta) {
+  const auto t0 = Clock::now();
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter(obs::names::kResolveRequests).increment();
+
+  auto reject = [&](std::string error) {
+    reg.counter(obs::names::kResolveErrors).increment();
+    PDW_LOG(Warn, "pdw") << "resolve rejected: " << error;
+    PdwResult result;
+    result.resolve.attempted = true;
+    result.resolve.valid = false;
+    result.resolve.error = std::move(error);
+    return result;
+  };
+
+  if (!canResolve())
+    return reject("resolve() requires a prior successful run()");
+
+  core::AppliedDelta applied = core::applyDelta(resolve_state_->base, delta);
+  if (!applied.valid) return reject(std::move(applied.error));
+
+  // Commit the delta's blocked cells (they persist across later resolves,
+  // like the re-based schedule does).
+  if (!delta.blocked_cells.empty()) {
+    auto& blocked = resolve_state_->blocked;
+    blocked.insert(blocked.end(), delta.blocked_cells.begin(),
+                   delta.blocked_cells.end());
+    std::sort(blocked.begin(), blocked.end());
+    blocked.erase(std::unique(blocked.begin(), blocked.end()), blocked.end());
+  }
+  // A removal renumbered the dense task ids; the memo's use lists and
+  // targets embed the old ids, so per-cell reuse would splice stale ids
+  // into the merged result. Drop it — the delta analysis falls back to a
+  // full re-walk and reports full_fallback.
+  if (applied.ids_renumbered) resolve_state_->memo = wash::NecessityMemo{};
+
+  wash::NecessityDeltaStats dstats;
+  PdwResult result = execute(applied.schedule, &dstats);
+
+  result.resolve.attempted = true;
+  result.resolve.valid = true;
+  result.resolve.frontier_cells = dstats.frontier_cells;
+  result.resolve.reused_cells = dstats.reused_cells;
+  result.resolve.targets_recomputed = dstats.recomputed_targets;
+  result.resolve.targets_reused = dstats.reused_targets;
+  result.resolve.routes_reused = result.cache.hits;
+  result.resolve.full_fallback = dstats.full_fallback;
+
+  // Re-base: later deltas apply on top of the perturbed schedule.
+  resolve_state_->base = std::move(applied.schedule);
+
+  if (dstats.full_fallback)
+    reg.counter(obs::names::kResolveFullFallbacks).increment();
+  reg.counter(obs::names::kResolveCellsTotal)
+      .add(dstats.frontier_cells + dstats.reused_cells);
+  reg.counter(obs::names::kResolveFrontierCells).add(dstats.frontier_cells);
+  reg.counter(obs::names::kResolveReusedCells).add(dstats.reused_cells);
+  reg.counter(obs::names::kResolveTargetsTotal)
+      .add(dstats.recomputed_targets + dstats.reused_targets);
+  reg.counter(obs::names::kResolveTargetsRecomputed)
+      .add(dstats.recomputed_targets);
+  reg.counter(obs::names::kResolveTargetsReused).add(dstats.reused_targets);
+  reg.counter(obs::names::kResolveRoutesReused).add(result.cache.hits);
+  reg.histogram(obs::names::kResolveSeconds).observe(secondsSince(t0));
   return result;
 }
 

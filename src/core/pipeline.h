@@ -21,10 +21,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "assay/schedule.h"
 #include "core/pathdriver_wash.h"
 #include "core/route_cache.h"
+#include "core/schedule_delta.h"
 #include "ilp/types.h"
 #include "obs/metrics.h"
 #include "wash/plan.h"
@@ -59,6 +61,23 @@ struct PipelineSolverStats {
   int path_warm_hits = 0;   ///< node LPs warm-solved across path ILPs
 };
 
+/// Bookkeeping of one Pipeline::resolve() — how much of the previous
+/// solve's state the incremental path actually reused (the `pdw.resolve.*`
+/// metrics mirror these as process-wide counters).
+struct ResolveStats {
+  bool attempted = false;  ///< this result came from resolve(), not run()
+  bool valid = false;      ///< delta applied cleanly; the plan is meaningful
+  std::string error;       ///< set when attempted && !valid
+  int frontier_cells = 0;  ///< cells re-analyzed (use list changed)
+  int reused_cells = 0;    ///< cells whose necessity carried over verbatim
+  int targets_recomputed = 0;
+  int targets_reused = 0;
+  int routes_reused = 0;   ///< wash routes served by the route cache
+  /// The necessity memo was unusable (options/horizon moved, or a task
+  /// removal renumbered ids) and every cell was re-analyzed.
+  bool full_fallback = false;
+};
+
 /// Consolidated result of one Pipeline::run().
 struct PdwResult {
   wash::WashPlanResult plan;
@@ -74,6 +93,8 @@ struct PdwResult {
   int threads = 1;             ///< execution lanes used
   int wash_operations = 0;     ///< clustered wash operations routed
   int unroutable_operations = 0;  ///< dropped (malformed chip; logged)
+  /// Incremental-solve bookkeeping (attempted == false for run() results).
+  ResolveStats resolve;
 
   /// Convenience: the washed schedule.
   const assay::AssaySchedule& schedule() const { return plan.schedule; }
@@ -93,7 +114,28 @@ class Pipeline {
 
   /// Run the four PDW stages on `base`. Reentrant with respect to distinct
   /// Pipeline instances; one instance must not be run() from two threads.
+  /// Also (re)primes the incremental-solve state consumed by resolve():
+  /// the base schedule is copied, so the caller's graph/chip must outlive
+  /// later resolve() calls, and any blocked cells from earlier deltas are
+  /// forgotten.
   PdwResult run(const assay::AssaySchedule& base);
+
+  /// Incremental delta-solve (DESIGN.md §15): apply `delta` to the last
+  /// solved base schedule, re-analyze wash necessity only on the
+  /// contamination frontier the delta touched, route through the (warm)
+  /// route cache with the delta's blocked cells excluded, and repair the
+  /// scheduling MILP in fix-and-optimize mode instead of the cold two-phase
+  /// solve. The wash plan equals what run() on the perturbed schedule would
+  /// produce up to schedule re-timing: necessity, clustering and routing are
+  /// bit-identical, so N_wash/L_wash match exactly. Requires a prior
+  /// successful run(); deltas compose (each resolve() re-bases on the
+  /// perturbed schedule it produced). An invalid delta (unknown id,
+  /// transport removal, blocked target cell) leaves the state untouched and
+  /// returns result.resolve.valid == false with the error message.
+  PdwResult resolve(const core::ScheduleDelta& delta);
+
+  /// True once run() has primed the state resolve() needs.
+  bool canResolve() const;
 
   /// The options as resolved by the constructor (threads, budgets).
   const core::PdwOptions& options() const { return options_; }
@@ -102,12 +144,20 @@ class Pipeline {
   core::RouteCacheStats cacheStats() const;
 
  private:
+  struct ResolveState;
+
+  /// Shared stage driver behind run() and resolve(). `delta_stats` != null
+  /// selects the incremental path (memoized necessity + repair scheduling).
+  PdwResult execute(const assay::AssaySchedule& base,
+                    wash::NecessityDeltaStats* delta_stats);
+
   core::PdwOptions options_;
   /// Owned by this Pipeline unless the options injected shared instances
   /// (PdwOptions::shared_pool / shared_route_cache — the pdwd service model
   /// of N concurrent Pipelines over one pool and one warm cache).
   std::shared_ptr<util::ThreadPool> pool_;
   std::shared_ptr<core::RouteCache> cache_;
+  std::unique_ptr<ResolveState> resolve_state_;
 };
 
 }  // namespace pdw

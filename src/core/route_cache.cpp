@@ -196,6 +196,16 @@ RouteKey RouteCache::makeKey(const arch::ChipLayout& chip,
   std::uint64_t blocked_h = 0x5bd1e995;
   for (const arch::Device& d : chip.devices())
     if (!target_set.count(d.cell)) blocked_h = combineCell(blocked_h, d.cell);
+  // Caller-blocked cells (ScheduleDelta blockages) are routing inputs too:
+  // fold them in sorted+deduplicated so a blocked problem never aliases the
+  // unblocked entry (and insertion order cannot split identical problems).
+  std::vector<arch::Cell> avoid = options.avoid_cells;
+  std::sort(avoid.begin(), avoid.end());
+  avoid.erase(std::unique(avoid.begin(), avoid.end()), avoid.end());
+  for (const arch::Cell& c : avoid) {
+    blocked_h = combine(blocked_h, 0x9e37u);
+    blocked_h = combineCell(blocked_h, c);
+  }
   key.blocked_hash = blocked_h;
 
   std::uint64_t opt_h = use_ilp ? 0x1234 : 0x4321;

@@ -92,7 +92,13 @@ class Builder {
     ilp::SolveParams params_a = options_.solver;
     params_a.warm_start = warm;
     params_a.time_limit_seconds =
-        std::max(0.5, options_.solver.time_limit_seconds * 0.4);
+        options_.repair_mode
+            ? options_.solver.time_limit_seconds
+            : std::max(0.5, options_.solver.time_limit_seconds * 0.4);
+    // Repair solves re-enter with a warm point projected from the previous
+    // plan; clamp it into the (slightly moved) variable box so it survives
+    // the incumbent-seeding feasibility check.
+    params_a.warm_clamp = options_.repair_mode;
     Model fixed = model_;
     for (const OrderBinary& ob : order_binaries_) {
       const double v = warm[static_cast<std::size_t>(ob.var)];
@@ -103,6 +109,18 @@ class Builder {
       return ilp::solve(fixed, params_a);
     }();
     result.stats = best.stats;
+
+    if (options_.repair_mode) {
+      // Phase A is the whole repair: the pinned-order optimum re-times the
+      // perturbed schedule; proving full-model optimality is what the cold
+      // path is for.
+      result.proven_optimal = false;
+      if (!best.hasSolution()) return result;  // success = false
+      result.success = true;
+      result.objective = best.objective;
+      result.schedule = extract(best, &result.integrated_removals);
+      return result;
+    }
 
     // Phase B — full model with free orders, warm-started from phase A.
     ilp::SolveParams params_b = options_.solver;

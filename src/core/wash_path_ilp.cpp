@@ -26,7 +26,8 @@ using ilp::VarId;
 /// bounding box of targets and the listed port cells.
 std::vector<Cell> buildRegion(const ChipLayout& chip,
                               const std::vector<Cell>& targets, int inflate,
-                              bool whole_grid) {
+                              bool whole_grid,
+                              const std::set<Cell>& avoid) {
   int min_x = chip.width(), min_y = chip.height(), max_x = -1, max_y = -1;
   const auto extend = [&](Cell c) {
     min_x = std::min(min_x, c.x);
@@ -70,6 +71,7 @@ std::vector<Cell> buildRegion(const ChipLayout& chip,
     for (int x = min_x; x <= max_x; ++x) {
       const Cell c{x, y};
       if (chip.isPortCell(c)) continue;
+      if (avoid.count(c)) continue;  // hard blockage, both passes
       // Foreign devices are avoided in the restricted pass; the whole-grid
       // retry admits them (the scheduler serializes washes against the
       // operations of any device they cross).
@@ -90,7 +92,8 @@ struct PathModel {
 };
 
 PathModel buildModel(const ChipLayout& chip, const std::vector<Cell>& region,
-                     const std::vector<Cell>& targets) {
+                     const std::vector<Cell>& targets,
+                     const std::set<Cell>& avoid) {
   PathModel pm;
   Model& m = pm.model;
   const std::set<Cell> region_set(region.begin(), region.end());
@@ -115,14 +118,19 @@ PathModel buildModel(const ChipLayout& chip, const std::vector<Cell>& region,
   m.addEqual(sum_ef, 1.0, "one_flow_end");
   m.addEqual(sum_ew, 1.0, "one_waste_end");
 
-  // Eq. 12: exactly one flow port and one waste port.
+  // Eq. 12: exactly one flow port and one waste port. A port whose own
+  // cell is avoided is unusable (the assembled path traverses it), so it
+  // gets no binary; if every port of a side is avoided the model is
+  // infeasible and the operation is reported unroutable.
   LinExpr sum_fp, sum_wp;
   for (arch::PortId p : chip.flowPorts()) {
+    if (avoid.count(chip.port(p).cell)) continue;
     const VarId v = m.addBinary("fp" + std::to_string(p));
     pm.flow_ports.emplace_back(p, v);
     sum_fp += LinExpr(v);
   }
   for (arch::PortId p : chip.wastePorts()) {
+    if (avoid.count(chip.port(p).cell)) continue;
     const VarId v = m.addBinary("wp" + std::to_string(p));
     pm.waste_ports.emplace_back(p, v);
     sum_wp += LinExpr(v);
@@ -271,11 +279,18 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
   static obs::Counter& warm_hits = reg.counter(obs::names::kPathIlpWarmHits);
 
   std::optional<FlowPath> ilp_path;
+  const std::set<Cell> avoid(options.avoid_cells.begin(),
+                             options.avoid_cells.end());
+  // A blocked cell that is itself a wash target cannot be flushed at all —
+  // the operation is unroutable by definition, not a solver failure (and
+  // buildRegion excludes the cell, so the model could not bind it anyway).
+  for (const Cell& t : targets)
+    if (avoid.count(t)) return std::nullopt;
   for (const bool whole_grid : {false, true}) {
-    const std::vector<Cell> region =
-        buildRegion(chip, targets, options.region_inflate, whole_grid);
+    const std::vector<Cell> region = buildRegion(
+        chip, targets, options.region_inflate, whole_grid, avoid);
     if (static_cast<int>(region.size()) > options.max_region_cells) break;
-    PathModel pm = buildModel(chip, region, targets);
+    PathModel pm = buildModel(chip, region, targets, avoid);
 
     // Lazy connectivity-cut loop.
     for (int round = 0; round < 25 && !ilp_path; ++round) {
@@ -307,7 +322,8 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
 
   // The restricted-region ILP can be beaten by the grid-wide heuristic;
   // keep whichever path is shorter.
-  std::optional<FlowPath> heuristic = routeWashPathHeuristic(chip, targets);
+  std::optional<FlowPath> heuristic =
+      routeWashPathHeuristic(chip, targets, options.avoid_cells);
   if (!ilp_path) {
     s.used_fallback = true;
     fallbacks.increment();
@@ -318,7 +334,8 @@ std::optional<FlowPath> routeWashPathIlp(const ChipLayout& chip,
 }
 
 std::optional<FlowPath> routeWashPathHeuristic(
-    const ChipLayout& chip, const std::vector<Cell>& targets) {
+    const ChipLayout& chip, const std::vector<Cell>& targets,
+    const std::vector<Cell>& avoid_cells) {
   if (targets.empty()) return std::nullopt;
   PDW_TRACE_SPAN("routing", "path_bfs");
   static obs::Counter& routes =
@@ -331,17 +348,31 @@ std::optional<FlowPath> routeWashPathHeuristic(
   // cell pocketed between a device and waste ports — retry allowing device
   // traversal (flushing buffer through an idle device is harmless; the
   // scheduler serializes the wash against that device's operations).
+  // Caller-blocked cells stay excluded on both passes.
   const std::set<Cell> target_set(targets.begin(), targets.end());
   arch::CellSet foreign_devices = chip.makeCellSet();
   for (const arch::Device& d : chip.devices())
     if (!target_set.count(d.cell)) foreign_devices.insert(d.cell);
-  const arch::CellSet no_blockage = chip.makeCellSet();
+  arch::CellSet no_blockage = chip.makeCellSet();
+  for (const Cell& c : avoid_cells) {
+    foreign_devices.insert(c);
+    no_blockage.insert(c);
+  }
+
+  // The router exempts a route's own endpoints from blockage checks, so a
+  // blocked port cell must be filtered here: its port is unusable outright.
+  // Likewise a blocked target is unwashable — unroutable by definition.
+  const std::set<Cell> avoid_set(avoid_cells.begin(), avoid_cells.end());
+  for (const Cell& t : targets)
+    if (avoid_set.count(t)) return std::nullopt;
 
   const arch::CellSet* blockages[2] = {&foreign_devices, &no_blockage};
   for (const arch::CellSet* blocked : blockages) {
     std::optional<FlowPath> best;
     for (arch::PortId fp : chip.flowPorts()) {
+      if (avoid_set.count(chip.port(fp).cell)) continue;
       for (arch::PortId wp : chip.wastePorts()) {
+        if (avoid_set.count(chip.port(wp).cell)) continue;
         const auto path = router.routeVia(
             chip.port(fp).cell, targets, chip.port(wp).cell, blocked);
         if (!path) continue;

@@ -39,6 +39,12 @@ struct WashPathOptions {
   /// Fall back to the BFS heuristic when the ILP fails or times out; when
   /// both succeed the shorter path wins.
   bool fallback_heuristic = true;
+  /// Cells no wash path may enter (stuck valves / damaged cells reported by
+  /// a ScheduleDelta). Hard constraint for BOTH routers on every pass —
+  /// unlike foreign devices, which only the restricted pass avoids. Part of
+  /// the route-cache key (RouteCache::makeKey), so blocked and unblocked
+  /// problems never alias.
+  std::vector<arch::Cell> avoid_cells;
 
   WashPathOptions() {
     solver.time_limit_seconds = 1.5;
@@ -54,8 +60,10 @@ std::optional<arch::FlowPath> routeWashPathIlp(
     const WashPathOptions& options = {}, WashPathStats* stats = nullptr);
 
 /// BFS heuristic: nearest flow port -> greedy target chain -> nearest waste
-/// port (the DAWO baseline's wash-path construction).
+/// port (the DAWO baseline's wash-path construction). `avoid_cells` are
+/// excluded on every pass.
 std::optional<arch::FlowPath> routeWashPathHeuristic(
-    const arch::ChipLayout& chip, const std::vector<arch::Cell>& targets);
+    const arch::ChipLayout& chip, const std::vector<arch::Cell>& targets,
+    const std::vector<arch::Cell>& avoid_cells = {});
 
 }  // namespace pdw::core

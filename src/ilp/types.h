@@ -184,6 +184,15 @@ struct SolveParams {
   /// anything worse than this point (the paper's "best-effort within the
   /// time limit" semantics).
   std::vector<double> warm_start;
+  /// Warm re-entry repair (the delta-solve path): clamp each warm-start
+  /// value into its variable's bounds before the feasibility check. A warm
+  /// point projected from a previous solve of a *perturbed* model (slightly
+  /// widened horizon, re-pinned binaries) often sits epsilon outside the new
+  /// box while remaining structurally sound; clamping lets it seed the
+  /// incumbent instead of being rejected wholesale. Never loosens the
+  /// feasibility check itself — a clamped-but-violating point is still
+  /// rejected.
+  bool warm_clamp = false;
   /// Warm-start node LP relaxations with the dual simplex from the previous
   /// node's optimal basis (the basis stays dual-feasible under bound
   /// changes). Falls back to the cold two-phase primal deterministically, so

@@ -158,18 +158,23 @@ class Parser {
         case 'r': v.string += '\r'; break;
         case 't': v.string += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return std::nullopt;
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code += static_cast<unsigned>(h - 'A' + 10);
-            else
+          const std::optional<unsigned> first = readHex4();
+          if (!first) return std::nullopt;
+          unsigned code = *first;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // UTF-16 high surrogate: the next escape MUST be the matching
+            // low surrogate (RFC 8259 §7); anything else mangles the astral
+            // code point, so treat it as a parse error.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
               return std::nullopt;
+            pos_ += 2;
+            const std::optional<unsigned> second = readHex4();
+            if (!second || *second < 0xDC00 || *second > 0xDFFF)
+              return std::nullopt;
+            code = 0x10000 + ((code - 0xD800) << 10) + (*second - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return std::nullopt;  // lone low surrogate
           }
           appendUtf8(v.string, code);
           break;
@@ -180,14 +185,38 @@ class Parser {
     return std::nullopt;  // unterminated
   }
 
+  /// Exactly four hex digits at pos_, or nullopt (pos_ advances over what
+  /// was consumed either way).
+  std::optional<unsigned> readHex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        code += static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        code += static_cast<unsigned>(h - 'A' + 10);
+      else
+        return std::nullopt;
+    }
+    return code;
+  }
+
   static void appendUtf8(std::string& out, unsigned code) {
     if (code < 0x80) {
       out += static_cast<char>(code);
     } else if (code < 0x800) {
       out += static_cast<char>(0xC0 | (code >> 6));
       out += static_cast<char>(0x80 | (code & 0x3F));
-    } else {
+    } else if (code < 0x10000) {
       out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
       out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
       out += static_cast<char>(0x80 | (code & 0x3F));
     }

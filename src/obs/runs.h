@@ -112,7 +112,10 @@ struct RowDiff {
   std::string metric;
   double base = 0.0;
   double current = 0.0;
-  double pct = 0.0;  ///< (current - base) / base * 100; +inf when base == 0
+  /// (current - base) / base * 100. A zero base is special-cased: 0 -> 0
+  /// compares equal (pct 0, never a regression — delta-resolve runs
+  /// legitimately report 0 cold nodes), 0 -> positive is +inf.
+  double pct = 0.0;
   bool regressed = false;
 };
 

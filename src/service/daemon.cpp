@@ -42,6 +42,15 @@ struct Daemon::BenchContext {
   std::uint64_t schedule_fingerprint = 0;
 };
 
+/// Resident incremental pipeline of one benchmark (resolve requests). The
+/// pipeline carries the solved-base state deltas compose on, so all resolve
+/// traffic for a benchmark serializes on `mutex` — the point of resolve is
+/// that each request is a cheap repair, not a parallel cold solve.
+struct Daemon::ResolveContext {
+  std::mutex mutex;
+  std::unique_ptr<Pipeline> pipeline;  ///< created + primed on first use
+};
+
 /// One admitted solve request in flight between handleLine() (the waiting
 /// transport thread) and a lane.
 struct Daemon::Job {
@@ -103,7 +112,8 @@ std::string Daemon::handleLine(std::string_view line) {
                          plan_cache_.version());
     }
     case RequestType::Solve:
-      break;
+    case RequestType::Resolve:
+      break;  // both go through admission below
   }
 
   // Unknown benchmarks are refused at admission so the outcome counters
@@ -138,11 +148,17 @@ std::string Daemon::handleLine(std::string_view line) {
     // A cache-using client bumping its generation invalidates before its
     // solve runs. Only now — a request rejected above, or one opting out of
     // the caches, must not wipe shared state for every other client. Done
-    // under queue_mutex_ so the job cannot be dequeued before the bump.
+    // under queue_mutex_ so the job cannot be dequeued before the bump, and
+    // under invalidate_mutex_ (route epoch first, then plan version) so the
+    // two caches advance as one observable step; the recheck under the lock
+    // keeps a racing same-version client from invalidating twice.
     if (job.req.use_cache &&
         job.req.cache_version > plan_cache_.version()) {
-      plan_cache_.bumpTo(job.req.cache_version);
-      route_cache_->invalidate();
+      std::lock_guard<std::mutex> invalidate_lock(invalidate_mutex_);
+      if (job.req.cache_version > plan_cache_.version()) {
+        route_cache_->invalidate();
+        plan_cache_.bumpTo(job.req.cache_version);
+      }
     }
     queue_.push_back(&job);
     obs::Registry::instance()
@@ -221,7 +237,9 @@ void Daemon::runJob(Job& job) {
   }
 
   std::string error;
-  SolveReply solved = solveRequest(job.req, remaining_s, &error);
+  SolveReply solved = job.req.type == RequestType::Resolve
+                          ? resolveRequest(job.req, &error)
+                          : solveRequest(job.req, remaining_s, &error);
   solved.queue_ms = reply.queue_ms;
   if (!error.empty()) {
     counterOf(obs::names::kPdwdErrors).increment();
@@ -333,6 +351,80 @@ SolveReply Daemon::solveRequest(const Request& req, double remaining_s,
   return reply;
 }
 
+SolveReply Daemon::resolveRequest(const Request& req, std::string* error) {
+  SolveReply reply;
+  reply.is_resolve = true;
+  std::shared_ptr<BenchContext> ctx = benchContext(req.benchmark, error);
+  if (!ctx) return reply;
+
+  core::ScheduleDelta delta;
+  if (req.delay_op >= 0)
+    delta.op_delays.push_back({req.delay_op, req.delay_s});
+  if (req.delay_task >= 0)
+    delta.task_delays.push_back({req.delay_task, req.delay_s});
+  if (!req.block_cell.empty()) {
+    int x = 0, y = 0;
+    parseCellSpec(req.block_cell, &x, &y);  // format validated at parse
+    delta.blocked_cells.push_back(arch::Cell{x, y});
+  }
+  if (req.remove_task >= 0) delta.removed_tasks.push_back(req.remove_task);
+
+  std::shared_ptr<ResolveContext> rc;
+  {
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    std::shared_ptr<ResolveContext>& slot = resolve_[req.benchmark];
+    if (!slot) slot = std::make_shared<ResolveContext>();
+    rc = slot;
+  }
+
+  std::lock_guard<std::mutex> lock(rc->mutex);
+  const bool warm = rc->pipeline && rc->pipeline->canResolve();
+  if (!rc->pipeline) {
+    // Resident pipelines run with the daemon defaults: per-request budget /
+    // engine / cuts overrides would fork the resident solved-base state the
+    // deltas compose on.
+    core::PdwOptions options;
+    options.withThreads(pool_->size())
+        .withScheduleBudget(options_.default_budget_s,
+                            options_.default_budget_nodes)
+        .withPathBudget(options_.path_budget_s, options_.path_budget_nodes)
+        .withSharedPool(pool_)
+        .withSharedRouteCache(route_cache_);
+    if (!options_.engine.empty()) options.withEngine(options_.engine);
+    if (options_.cuts == "on") options.withCuts(true);
+    else if (options_.cuts == "off") options.withCuts(false);
+    else if (options_.cuts == "gomory") options.withCuts(true, false);
+    else if (options_.cuts == "cover") options.withCuts(false, true);
+    if (options_.flight.enabled || !options_.flight.path.empty())
+      options.withFlightRecording(options_.flight);
+    rc->pipeline = std::make_unique<Pipeline>(std::move(options));
+  }
+  // Cold prime on first use: the pipeline must have solved the benchmark's
+  // base schedule once before deltas can repair it.
+  if (!rc->pipeline->canResolve()) rc->pipeline->run(ctx->synth.schedule);
+
+  PdwResult result = rc->pipeline->resolve(delta);
+  if (!result.resolve.valid) {
+    *error = result.resolve.error;
+    return reply;
+  }
+
+  const assay::AssaySchedule& schedule = result.schedule();
+  reply.status = "ok";
+  reply.warm = warm;
+  reply.n_wash = schedule.washCount();
+  reply.l_wash_mm = schedule.washLengthMm();
+  reply.t_assay = schedule.completionTime();
+  reply.wash_time_s = schedule.totalWashTime();
+  reply.proven_optimal = result.plan.proven_optimal;
+  reply.plan = canonicalPlan(schedule);
+  reply.frontier_cells = result.resolve.frontier_cells;
+  reply.reused_cells = result.resolve.reused_cells;
+  reply.routes_reused = result.resolve.routes_reused;
+  reply.full_fallback = result.resolve.full_fallback;
+  return reply;
+}
+
 std::shared_ptr<Daemon::BenchContext> Daemon::benchContext(
     const std::string& name, std::string* error) {
   {
@@ -382,11 +474,18 @@ void Daemon::shutdown() {
 }
 
 std::uint64_t Daemon::invalidateCaches() {
+  // Route epoch first, then plan version, under invalidate_mutex_: a client
+  // that observes the new plan-cache version is guaranteed the route cache
+  // has already turned its epoch over (and the admission bumpTo path holds
+  // the same mutex, so the two bumps never interleave).
+  std::lock_guard<std::mutex> lock(invalidate_mutex_);
   route_cache_->invalidate();
   return plan_cache_.invalidate();
 }
 
 std::uint64_t Daemon::cacheVersion() const { return plan_cache_.version(); }
+
+std::uint64_t Daemon::routeCacheEpoch() const { return route_cache_->epoch(); }
 
 DaemonStats Daemon::stats() const {
   DaemonStats stats;

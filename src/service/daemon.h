@@ -107,23 +107,35 @@ class Daemon {
   /// Idempotent.
   void shutdown();
 
-  /// Invalidate the shared plan + route caches; returns the new version.
+  /// Invalidate the shared plan + route caches as one observable step and
+  /// return the new version: by the time cacheVersion() reports it, the
+  /// route-cache epoch has already advanced (see invalidate_mutex_).
   std::uint64_t invalidateCaches();
 
   /// Current plan-cache version (generation).
   std::uint64_t cacheVersion() const;
+
+  /// Current route-cache epoch. Coherence contract with cacheVersion():
+  /// any observer that reads cacheVersion() first and routeCacheEpoch()
+  /// second sees epoch advances >= version advances — the route epoch
+  /// always bumps before the plan version under invalidate_mutex_.
+  std::uint64_t routeCacheEpoch() const;
 
   DaemonStats stats() const;
   const DaemonOptions& options() const { return options_; }
 
  private:
   struct BenchContext;
+  struct ResolveContext;
   struct Job;
 
-  /// Runs on a lane: solve (or sleep) and fill the job's reply.
+  /// Runs on a lane: solve / resolve (or sleep) and fill the job's reply.
   void runJob(Job& job);
   SolveReply solveRequest(const Request& req, double remaining_s,
                           std::string* error);
+  /// Incremental delta-solve against the benchmark's resident pipeline
+  /// (created and cold-primed on first use).
+  SolveReply resolveRequest(const Request& req, std::string* error);
   void laneLoop();
   std::shared_ptr<BenchContext> benchContext(const std::string& name,
                                              std::string* error);
@@ -132,9 +144,19 @@ class Daemon {
   std::shared_ptr<util::ThreadPool> pool_;
   std::shared_ptr<core::RouteCache> route_cache_;
   PlanCache plan_cache_;
+  /// Held across the plan-cache version bump AND the route-cache epoch bump
+  /// (route first), in every invalidation path — so no observer can see one
+  /// cache invalidated while the other still serves the old generation.
+  std::mutex invalidate_mutex_;
 
   mutable std::mutex bench_mutex_;
   std::map<std::string, std::shared_ptr<BenchContext>> bench_;
+
+  /// Resident incremental pipelines, one per benchmark (resolve requests).
+  /// Each context serializes its own pipeline; the map mutex only guards
+  /// creation/lookup.
+  std::mutex resolve_mutex_;
+  std::map<std::string, std::shared_ptr<ResolveContext>> resolve_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -61,6 +61,22 @@ std::optional<FieldError> readBool(const Value& doc, const char* key,
   return std::nullopt;
 }
 
+/// Non-negative integer id field (op/task ids in resolve requests); absent
+/// leaves -1 in place.
+std::optional<FieldError> readIndex(const Value& doc, const char* key,
+                                    int* out) {
+  const Value* v = doc.find(key);
+  if (!v) return std::nullopt;
+  if (!v->isNumber())
+    return FieldError{std::string(key) + " must be a number", "type"};
+  if (!std::isfinite(v->number) || v->number < 0.0 ||
+      v->number != std::floor(v->number) || v->number > 2147483647.0)
+    return FieldError{std::string(key) + " must be a non-negative integer",
+                      "value"};
+  *out = static_cast<int>(v->number);
+  return std::nullopt;
+}
+
 ParsedRequest fail(std::string message, std::string code) {
   ParsedRequest parsed;
   parsed.error = std::move(message);
@@ -70,9 +86,29 @@ ParsedRequest fail(std::string message, std::string code) {
 
 }  // namespace
 
+bool parseCellSpec(const std::string& spec, int* x, int* y) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    return false;
+  long long vals[2] = {0, 0};
+  const std::string parts[2] = {spec.substr(0, colon),
+                                spec.substr(colon + 1)};
+  for (int i = 0; i < 2; ++i) {
+    if (parts[i].size() > 9) return false;
+    for (char c : parts[i]) {
+      if (c < '0' || c > '9') return false;
+      vals[i] = vals[i] * 10 + (c - '0');
+    }
+  }
+  *x = static_cast<int>(vals[0]);
+  *y = static_cast<int>(vals[1]);
+  return true;
+}
+
 const char* toString(RequestType type) {
   switch (type) {
     case RequestType::Solve: return "solve";
+    case RequestType::Resolve: return "resolve";
     case RequestType::Metrics: return "metrics";
     case RequestType::Ping: return "ping";
     case RequestType::Invalidate: return "invalidate";
@@ -101,6 +137,8 @@ ParsedRequest parseRequest(std::string_view line) {
     return fail(err->message, err->code);
   if (type_name == "solve") {
     req.type = RequestType::Solve;
+  } else if (type_name == "resolve") {
+    req.type = RequestType::Resolve;
   } else if (type_name == "metrics") {
     req.type = RequestType::Metrics;
   } else if (type_name == "ping") {
@@ -129,6 +167,16 @@ ParsedRequest parseRequest(std::string_view line) {
     return fail(err->message, err->code);
   if (auto err = readNumber(*doc, "sleep_ms", &req.sleep_ms))
     return fail(err->message, err->code);
+  if (auto err = readIndex(*doc, "delay_op", &req.delay_op))
+    return fail(err->message, err->code);
+  if (auto err = readIndex(*doc, "delay_task", &req.delay_task))
+    return fail(err->message, err->code);
+  if (auto err = readNumber(*doc, "delay_s", &req.delay_s))
+    return fail(err->message, err->code);
+  if (auto err = readString(*doc, "block_cell", &req.block_cell))
+    return fail(err->message, err->code);
+  if (auto err = readIndex(*doc, "remove_task", &req.remove_task))
+    return fail(err->message, err->code);
   double version = 0.0;
   if (auto err = readNumber(*doc, "cache_version", &version))
     return fail(err->message, err->code);
@@ -151,6 +199,25 @@ ParsedRequest parseRequest(std::string_view line) {
   if (req.type == RequestType::Solve && req.benchmark.empty() &&
       req.sleep_ms <= 0.0)
     return fail("solve requires a benchmark", "value");
+  if (req.type == RequestType::Resolve) {
+    if (req.benchmark.empty())
+      return fail("resolve requires a benchmark", "value");
+    const bool has_delay = req.delay_op >= 0 || req.delay_task >= 0;
+    if (has_delay && req.delay_s <= 0.0)
+      return fail("delay_op/delay_task require delay_s > 0", "value");
+    if (!has_delay && req.delay_s > 0.0)
+      return fail("delay_s requires delay_op or delay_task", "value");
+    if (!req.block_cell.empty()) {
+      int x = 0, y = 0;
+      if (!parseCellSpec(req.block_cell, &x, &y))
+        return fail("block_cell must be \"x:y\" with non-negative integers",
+                    "value");
+    }
+    if (!has_delay && req.block_cell.empty() && req.remove_task < 0)
+      return fail("resolve requires at least one perturbation "
+                  "(delay_op, delay_task, block_cell, remove_task)",
+                  "value");
+  }
 
   ParsedRequest parsed;
   parsed.request = std::move(req);
@@ -186,6 +253,12 @@ std::string solveResponse(const std::string& id, const std::string& trace,
   if (reply.status == "error")
     out << ",\"code\":" << obs::json::quote(reply.code)
         << ",\"error\":" << obs::json::quote(reply.error);
+  if (reply.is_resolve)
+    out << ",\"resolve\":{\"frontier_cells\":" << reply.frontier_cells
+        << ",\"reused_cells\":" << reply.reused_cells
+        << ",\"routes_reused\":" << reply.routes_reused
+        << ",\"full_fallback\":" << (reply.full_fallback ? "true" : "false")
+        << "}";
   out << ",\"wall_ms\":" << formatDouble(reply.wall_ms)
       << ",\"queue_ms\":" << formatDouble(reply.queue_ms) << "}";
   return out.str();

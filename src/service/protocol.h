@@ -12,7 +12,7 @@
 //   {"schema":"pdw-req-1","type":"solve","id":"r1","benchmark":"PCR",
 //    "budget_s":4.0,"deadline_ms":2000,"cache":true,"cuts":"on",
 //    "engine":"revised","cache_version":2,"sleep_ms":0}
-//   type: solve (default) | metrics | ping | invalidate | shutdown
+//   type: solve (default) | resolve | metrics | ping | invalidate | shutdown
 //   benchmark: Table-II name; required for solve unless sleep_ms > 0
 //   budget_s: scheduling-ILP budget (0 = daemon default)
 //   deadline_ms: total budget from admission; expired-in-queue requests
@@ -24,6 +24,19 @@
 //   sleep_ms: load-harness aid — hold a lane for this long instead of
 //     solving (admission, queueing and deadlines behave exactly as for a
 //     real solve)
+//
+// Resolve requests (type "resolve") describe an online perturbation of the
+// named benchmark's last solved schedule and are served by the daemon's
+// resident per-benchmark incremental pipeline (DESIGN.md §15). Fields
+// (benchmark required; at least one perturbation required):
+//   delay_op:    operation id to delay by delay_s seconds
+//   delay_task:  fluid-task id to delay by delay_s seconds
+//   delay_s:     required (> 0) with delay_op / delay_task
+//   block_cell:  "x:y" cell wash routing must avoid from now on
+//   remove_task: waste-bound task id to cancel
+// The response carries warm:true when a primed pipeline served the delta
+// incrementally, plus a "resolve" object with the reuse bookkeeping
+// (frontier_cells, reused_cells, routes_reused, full_fallback).
 //
 // Response statuses: ok | budget_hit (plan present, solver budget-capped) |
 // rejected (admission queue full) | deadline (expired before running) |
@@ -49,7 +62,7 @@ inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
 inline constexpr const char* kRequestSchema = "pdw-req-1";
 inline constexpr const char* kResponseSchema = "pdw-resp-1";
 
-enum class RequestType { Solve, Metrics, Ping, Invalidate, Shutdown };
+enum class RequestType { Solve, Resolve, Metrics, Ping, Invalidate, Shutdown };
 
 const char* toString(RequestType type);
 
@@ -64,6 +77,12 @@ struct Request {
   std::string engine;        ///< "" | LP backend name ("revised", "dense")
   std::uint64_t cache_version = 0;  ///< > daemon version => invalidate first
   double sleep_ms = 0.0;     ///< test/load aid: hold a lane, skip the solve
+  // Resolve perturbation fields (type == Resolve only; -1 / "" = unset).
+  int delay_op = -1;         ///< operation id delayed by delay_s
+  int delay_task = -1;       ///< fluid-task id delayed by delay_s
+  double delay_s = 0.0;      ///< seconds; required with delay_op/delay_task
+  std::string block_cell;    ///< "x:y" cell to exclude from wash routing
+  int remove_task = -1;      ///< waste-bound task id to cancel
 };
 
 /// Result of parsing one request line: either a request or an error with a
@@ -80,6 +99,11 @@ struct ParsedRequest {
 /// Parse and validate one request line. Never throws; enforces
 /// kMaxRequestBytes first so arbitrarily long garbage is cheap to refuse.
 ParsedRequest parseRequest(std::string_view line);
+
+/// Parse a strict "x:y" cell spec (non-negative decimal integers, nothing
+/// else). Used for the resolve `block_cell` field at both the protocol
+/// boundary and the daemon.
+bool parseCellSpec(const std::string& spec, int* x, int* y);
 
 /// One-line structured error response (`status:"error"`).
 std::string errorResponse(const std::string& id, const std::string& code,
@@ -100,6 +124,13 @@ struct SolveReply {
   double queue_ms = 0.0; ///< time spent waiting for a lane
   std::string error;     ///< message when status == "error"
   std::string code;      ///< error class when status == "error"
+  // Resolve-only bookkeeping (serialized as a "resolve" object when
+  // is_resolve; mirrors pdw::ResolveStats).
+  bool is_resolve = false;
+  int frontier_cells = 0;
+  int reused_cells = 0;
+  int routes_reused = 0;
+  bool full_fallback = false;
 };
 
 /// Serialize a solve response line (no trailing newline).

@@ -29,6 +29,117 @@ bool isInputOf(const assay::SequencingGraph& graph, assay::FluidId fluid,
   return false;
 }
 
+bool sameUse(const CellUse& a, const CellUse& b) {
+  return a.start == b.start && a.end == b.end && a.fluid == b.fluid &&
+         a.critical == b.critical && a.deposits == b.deposits &&
+         a.task == b.task && a.op == b.op;
+}
+
+bool sameUses(const std::vector<CellUse>& a, const std::vector<CellUse>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!sameUse(a[i], b[i])) return false;
+  return true;
+}
+
+/// The per-cell walk of eqs. 9-11: a pure function of the cell's use list
+/// (and the horizon, only when Type 1 is disabled) — the invariant the
+/// incremental path relies on to reuse unchanged cells verbatim.
+CellNecessity analyzeCell(const assay::AssaySchedule& schedule,
+                          arch::Cell cell, const std::vector<CellUse>& uses,
+                          double horizon, const NecessityOptions& options) {
+  CellNecessity out;
+  const assay::FluidRegistry& fluids = schedule.graph().fluids();
+
+  const auto emitTarget = [&](const Residue& residue, double deadline,
+                              assay::TaskId blocking) {
+    WashTarget target;
+    target.cell = cell;
+    target.residue = residue.fluid;
+    target.ready = residue.since;
+    target.deadline = deadline;
+    target.contaminating_task = residue.task;
+    target.contaminating_op = residue.op;
+    target.blocking_task = blocking;
+    out.targets.push_back(target);
+    ++out.stats.targets;
+  };
+
+  std::optional<Residue> residue;
+  for (const CellUse& use : uses) {
+    if (residue) {
+      ++out.stats.contaminated_cell_states;
+      const bool dangerous = fluids.contaminates(residue->fluid, use.fluid);
+      const bool input_exempt =
+          dangerous && isInputOf(schedule.graph(), residue->fluid, use.op);
+      if (use.critical) {
+        if (!dangerous || input_exempt) {
+          if (options.enable_type2) {
+            ++out.stats.skipped_type2;
+          } else {
+            emitTarget(*residue, use.start, use.task);
+            residue.reset();
+          }
+        } else {
+          emitTarget(*residue, use.start, use.task);
+          residue.reset();  // assume the wash happened before `use`
+        }
+      } else if (use.task >= 0) {
+        // Waste-bound flush (excess/waste removal) or wash: Type 3.
+        const bool is_wash =
+            schedule.task(use.task).kind == assay::TaskKind::Wash;
+        if (!is_wash) {
+          if (options.enable_type3) {
+            ++out.stats.skipped_type3;
+          } else if (dangerous) {
+            emitTarget(*residue, use.start, use.task);
+            residue.reset();
+          }
+        }
+      }
+    }
+    if (use.deposits) {
+      if (fluids.kind(use.fluid) == assay::FluidKind::Buffer) {
+        residue.reset();  // wash leaves the cell clean
+      } else {
+        // The deposit source is the task, or the operation for device
+        // deposits (use.op also names the consumer op on transport uses —
+        // that is not the contaminator).
+        residue = Residue{use.fluid, use.end, use.task,
+                          use.task >= 0 ? -1 : use.op};
+      }
+    }
+  }
+  if (residue) {
+    ++out.stats.contaminated_cell_states;
+    if (options.enable_type1) {
+      ++out.stats.skipped_type1;
+    } else {
+      // Ablation: even dead residue must be washed; the deadline is open
+      // (blocking_task = -1 makes the wash extend T_assay instead).
+      emitTarget(*residue, horizon, -1);
+    }
+  }
+  return out;
+}
+
+void accumulate(NecessityResult& result, const CellNecessity& cell) {
+  result.targets.insert(result.targets.end(), cell.targets.begin(),
+                        cell.targets.end());
+  result.stats.contaminated_cell_states +=
+      cell.stats.contaminated_cell_states;
+  result.stats.skipped_type1 += cell.stats.skipped_type1;
+  result.stats.skipped_type2 += cell.stats.skipped_type2;
+  result.stats.skipped_type3 += cell.stats.skipped_type3;
+  result.stats.targets += cell.stats.targets;
+}
+
+bool sameOptions(const NecessityOptions& a, const NecessityOptions& b) {
+  return a.enable_type1 == b.enable_type1 &&
+         a.enable_type2 == b.enable_type2 &&
+         a.enable_type3 == b.enable_type3;
+}
+
 }  // namespace
 
 std::string NecessityStats::describe() const {
@@ -39,83 +150,68 @@ std::string NecessityStats::describe() const {
 }
 
 NecessityResult analyzeWashNecessity(const ContaminationTracker& tracker,
-                                     const NecessityOptions& options) {
+                                     const NecessityOptions& options,
+                                     NecessityMemo* memo) {
   NecessityResult result;
   const assay::AssaySchedule& schedule = tracker.schedule();
-  const assay::FluidRegistry& fluids = schedule.graph().fluids();
   const double horizon = schedule.completionTime();
-
-  const auto emitTarget = [&](arch::Cell cell, const Residue& residue,
-                              double deadline, assay::TaskId blocking) {
-    WashTarget target;
-    target.cell = cell;
-    target.residue = residue.fluid;
-    target.ready = residue.since;
-    target.deadline = deadline;
-    target.contaminating_task = residue.task;
-    target.contaminating_op = residue.op;
-    target.blocking_task = blocking;
-    result.targets.push_back(target);
-    ++result.stats.targets;
-  };
-
+  if (memo != nullptr) {
+    memo->cells.clear();
+    memo->horizon = horizon;
+    memo->options = options;
+    memo->valid = true;
+  }
   for (const arch::Cell& cell : tracker.usedCells()) {
-    std::optional<Residue> residue;
-    for (const CellUse& use : tracker.usesOf(cell)) {
-      if (residue) {
-        ++result.stats.contaminated_cell_states;
-        const bool dangerous = fluids.contaminates(residue->fluid, use.fluid);
-        const bool input_exempt =
-            dangerous && isInputOf(schedule.graph(), residue->fluid, use.op);
-        if (use.critical) {
-          if (!dangerous || input_exempt) {
-            if (options.enable_type2) {
-              ++result.stats.skipped_type2;
-            } else {
-              emitTarget(cell, *residue, use.start, use.task);
-              residue.reset();
-            }
-          } else {
-            emitTarget(cell, *residue, use.start, use.task);
-            residue.reset();  // assume the wash happened before `use`
-          }
-        } else if (use.task >= 0) {
-          // Waste-bound flush (excess/waste removal) or wash: Type 3.
-          const bool is_wash =
-              schedule.task(use.task).kind == assay::TaskKind::Wash;
-          if (!is_wash) {
-            if (options.enable_type3) {
-              ++result.stats.skipped_type3;
-            } else if (dangerous) {
-              emitTarget(cell, *residue, use.start, use.task);
-              residue.reset();
-            }
-          }
-        }
-      }
-      if (use.deposits) {
-        if (fluids.kind(use.fluid) == assay::FluidKind::Buffer) {
-          residue.reset();  // wash leaves the cell clean
-        } else {
-          // The deposit source is the task, or the operation for device
-          // deposits (use.op also names the consumer op on transport uses —
-          // that is not the contaminator).
-          residue = Residue{use.fluid, use.end, use.task,
-                            use.task >= 0 ? -1 : use.op};
-        }
-      }
-    }
-    if (residue) {
-      ++result.stats.contaminated_cell_states;
-      if (options.enable_type1) {
-        ++result.stats.skipped_type1;
-      } else {
-        // Ablation: even dead residue must be washed; the deadline is open
-        // (blocking_task = -1 makes the wash extend T_assay instead).
-        emitTarget(cell, *residue, horizon, -1);
-      }
+    CellNecessity analysis =
+        analyzeCell(schedule, cell, tracker.usesOf(cell), horizon, options);
+    accumulate(result, analysis);
+    if (memo != nullptr) {
+      analysis.uses = tracker.usesOf(cell);
+      memo->cells.emplace(cell, std::move(analysis));
     }
   }
+  return result;
+}
+
+NecessityResult analyzeWashNecessityDelta(const ContaminationTracker& tracker,
+                                          NecessityMemo& memo,
+                                          const NecessityOptions& options,
+                                          NecessityDeltaStats* delta_stats) {
+  const assay::AssaySchedule& schedule = tracker.schedule();
+  const double horizon = schedule.completionTime();
+  // With Type 1 disabled, trailing residues embed the horizon in their
+  // open deadline, so a moved completion time invalidates every memoized
+  // cell, not just the frontier.
+  const bool memo_usable =
+      memo.valid && sameOptions(memo.options, options) &&
+      (options.enable_type1 || memo.horizon == horizon);
+
+  NecessityResult result;
+  NecessityDeltaStats stats;
+  stats.full_fallback = !memo_usable;
+  std::map<arch::Cell, CellNecessity> fresh;
+  for (const arch::Cell& cell : tracker.usedCells()) {
+    const std::vector<CellUse>& uses = tracker.usesOf(cell);
+    const auto prev = memo_usable ? memo.cells.find(cell) : memo.cells.end();
+    CellNecessity analysis;
+    if (prev != memo.cells.end() && sameUses(prev->second.uses, uses)) {
+      analysis = prev->second;
+      ++stats.reused_cells;
+      stats.reused_targets += static_cast<int>(analysis.targets.size());
+    } else {
+      analysis = analyzeCell(schedule, cell, uses, horizon, options);
+      analysis.uses = uses;
+      ++stats.frontier_cells;
+      stats.recomputed_targets += static_cast<int>(analysis.targets.size());
+    }
+    accumulate(result, analysis);
+    fresh.emplace(cell, std::move(analysis));
+  }
+  memo.cells = std::move(fresh);
+  memo.horizon = horizon;
+  memo.options = options;
+  memo.valid = true;
+  if (delta_stats != nullptr) *delta_stats = stats;
   return result;
 }
 

@@ -165,10 +165,16 @@ class Engine {
       items_.push_back(
           {Item::Kind::Wash, static_cast<int>(w), washes_[w].ready - 0.25});
     }
-    std::stable_sort(items_.begin(), items_.end(),
-                     [](const Item& a, const Item& b) {
-                       return a.order_key < b.order_key;
-                     });
+    // Total order: ties on order_key break on (kind, index) — the same
+    // order stable_sort produced from the push sequence above (ops, then
+    // tasks, then washes, each ascending) — so equal-key items never depend
+    // on container iteration order and rescheduled plans are byte-identical
+    // across thread counts.
+    std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
+      if (a.order_key != b.order_key) return a.order_key < b.order_key;
+      if (a.kind != b.kind) return a.kind < b.kind;
+      return a.index < b.index;
+    });
   }
 
   /// Precedence lower bound of a base task (mirrors the synthesizer's and

@@ -1,0 +1,89 @@
+// obs::json unit tests — the `\uXXXX` decoder, including UTF-16 surrogate
+// pairs (RFC 8259 §7). The parser fronts the pdwd wire protocol, so every
+// rejection here is a structured protocol error rather than a mangled
+// string reaching a plan-cache key or a canonical plan.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using pdw::obs::json::parse;
+using pdw::obs::json::quote;
+using pdw::obs::json::Value;
+
+std::optional<std::string> parseString(const std::string& text) {
+  const std::optional<Value> doc = parse(text);
+  if (!doc || !doc->isString()) return std::nullopt;
+  return doc->string;
+}
+
+TEST(ObsJson, DecodesBmpEscapes) {
+  EXPECT_EQ(parseString("\"\\u0041\""), "A");
+  EXPECT_EQ(parseString("\"\\u00e9\""), "\xC3\xA9");          // é
+  EXPECT_EQ(parseString("\"\\u20AC\""), "\xE2\x82\xAC");      // €
+  EXPECT_EQ(parseString("\"\\uFFFD\""), "\xEF\xBF\xBD");      // U+FFFD
+  // Case-insensitive hex digits.
+  EXPECT_EQ(parseString("\"\\u20ac\""), parseString("\"\\u20AC\""));
+}
+
+TEST(ObsJson, DecodesSurrogatePairsToFourByteUtf8) {
+  // U+1F600 (😀) = \uD83D\uDE00 = F0 9F 98 80.
+  EXPECT_EQ(parseString("\"\\uD83D\\uDE00\""), "\xF0\x9F\x98\x80");
+  // U+10000, the first astral code point = \uD800\uDC00.
+  EXPECT_EQ(parseString("\"\\uD800\\uDC00\""), "\xF0\x90\x80\x80");
+  // U+10FFFF, the last code point = \uDBFF\uDFFF.
+  EXPECT_EQ(parseString("\"\\uDBFF\\uDFFF\""), "\xF4\x8F\xBF\xBF");
+  // Pairs embedded mid-string, twice.
+  EXPECT_EQ(parseString("\"a\\uD83D\\uDE00b\\uD83D\\uDE01c\""),
+            "a\xF0\x9F\x98\x80"
+            "b\xF0\x9F\x98\x81"
+            "c");
+}
+
+TEST(ObsJson, RejectsLoneAndMalformedSurrogates) {
+  // Lone high surrogate: end of string, non-escape follow, wrong escape.
+  EXPECT_FALSE(parse("\"\\uD83D\"").has_value());
+  EXPECT_FALSE(parse("\"\\uD83Dx\"").has_value());
+  EXPECT_FALSE(parse("\"\\uD83D\\n\"").has_value());
+  // High surrogate followed by a non-low-surrogate escape.
+  EXPECT_FALSE(parse("\"\\uD83D\\u0041\"").has_value());
+  // High followed by another high.
+  EXPECT_FALSE(parse("\"\\uD83D\\uD83D\"").has_value());
+  // Lone low surrogate.
+  EXPECT_FALSE(parse("\"\\uDE00\"").has_value());
+  // Truncated hex in the second unit.
+  EXPECT_FALSE(parse("\"\\uD83D\\uDE\"").has_value());
+  EXPECT_FALSE(parse("\"\\uD83D\\uZZZZ\"").has_value());
+}
+
+TEST(ObsJson, RejectsBadHex) {
+  EXPECT_FALSE(parse("\"\\u12\"").has_value());
+  EXPECT_FALSE(parse("\"\\u12G4\"").has_value());
+  EXPECT_FALSE(parse("\"\\u\"").has_value());
+}
+
+TEST(ObsJson, SurrogateDecodedStringsRoundTripThroughQuote) {
+  // quote() passes raw UTF-8 through, so parse(quote(parse(escaped)))
+  // yields the same bytes — the invariant canonical plans rely on.
+  const std::optional<std::string> decoded =
+      parseString("\"\\uD83D\\uDE00 caf\\u00e9\"");
+  ASSERT_TRUE(decoded.has_value());
+  const std::optional<std::string> round = parseString(quote(*decoded));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, *decoded);
+}
+
+TEST(ObsJson, SurrogatePairInsideObjectKeyAndValue) {
+  const std::optional<Value> doc =
+      parse("{\"\\uD83D\\uDE00\":\"\\uD83D\\uDCA9\"}");
+  ASSERT_TRUE(doc.has_value());
+  const Value* v = doc->find("\xF0\x9F\x98\x80");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->string, "\xF0\x9F\x92\xA9");
+}
+
+}  // namespace

@@ -248,6 +248,27 @@ TEST(RunStore, DiffNoiseFloorAndInfinityAndAlignment) {
   EXPECT_FALSE(disjoint.anyRegression());
 }
 
+TEST(RunStore, DiffZeroBaseZeroCurrentComparesEqual) {
+  // 0 -> 0 is equal, pct 0, never a regression — delta-resolve bench rows
+  // legitimately report 0 for counters a warm repair never touches, and a
+  // 0 -> 0 row must not read as an infinite blowup. 0 -> positive stays
+  // +inf / regressed (previous test); this pins the other half.
+  obs::DiffThresholds thresholds;
+  const obs::RunDiff same = obs::diffRuns(makeRecord("b", "a", 0.5, 0),
+                                          makeRecord("c", "b", 0.5, 0),
+                                          thresholds);
+  EXPECT_FALSE(same.anyRegression());
+  bool saw_iterations = false;
+  for (const obs::RowDiff& row : same.rows)
+    if (row.metric == "simplex_iterations") {
+      EXPECT_DOUBLE_EQ(row.pct, 0.0);
+      EXPECT_FALSE(row.regressed);
+      EXPECT_FALSE(std::isinf(row.pct));
+      saw_iterations = true;
+    }
+  EXPECT_TRUE(saw_iterations);
+}
+
 TEST(RunStore, BenchDocConvertsToComparableRecord) {
   const auto doc = obs::json::parse(R"({
     "schema": "pdw-bench-1",

@@ -213,6 +213,107 @@ TEST(PdwdProtocol, RejectsValueErrors) {
             "value");
 }
 
+TEST(PdwdProtocol, ResolveRequestParsesAndValidates) {
+  const auto parsed = parseRequest(
+      "{\"schema\":\"pdw-req-1\",\"type\":\"resolve\",\"id\":\"r1\","
+      "\"benchmark\":\"PCR\",\"delay_op\":3,\"delay_s\":2.5,"
+      "\"block_cell\":\"4:7\",\"remove_task\":9}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const service::Request& req = *parsed.request;
+  EXPECT_EQ(req.type, service::RequestType::Resolve);
+  EXPECT_EQ(req.delay_op, 3);
+  EXPECT_EQ(req.delay_task, -1);
+  EXPECT_DOUBLE_EQ(req.delay_s, 2.5);
+  EXPECT_EQ(req.block_cell, "4:7");
+  EXPECT_EQ(req.remove_task, 9);
+  int x = -1, y = -1;
+  EXPECT_TRUE(service::parseCellSpec(req.block_cell, &x, &y));
+  EXPECT_EQ(x, 4);
+  EXPECT_EQ(y, 7);
+
+  // A benchmark is mandatory: there is no resident pipeline without one.
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"delay_op\":0,\"delay_s\":1}")
+                .error_code,
+            "value");
+  // Delay target and delay seconds come as a pair, both ways round.
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\",\"delay_op\":0}")
+                .error_code,
+            "value");
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\",\"delay_s\":2}")
+                .error_code,
+            "value");
+  // A resolve with no perturbation at all has nothing to repair.
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\"}")
+                .error_code,
+            "value");
+  // Ids are non-negative integers — fractional or negative is refused.
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\",\"delay_op\":1.5,"
+                         "\"delay_s\":2}")
+                .error_code,
+            "value");
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\",\"remove_task\":-1}")
+                .error_code,
+            "value");
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\",\"delay_op\":\"0\","
+                         "\"delay_s\":2}")
+                .error_code,
+            "type");
+}
+
+TEST(PdwdProtocol, RejectsMalformedCellSpecs) {
+  int x = 0, y = 0;
+  for (const char* bad : {"", ":", "4:", ":7", "4", "4:7:2", "x:y", "4 :7",
+                          "-1:3", "4:+7", "0x4:7", "1234567890:1"})
+    EXPECT_FALSE(service::parseCellSpec(bad, &x, &y)) << bad;
+  EXPECT_TRUE(service::parseCellSpec("0:0", &x, &y));
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 0);
+  // The parse-level gate uses the same predicate.
+  EXPECT_EQ(parseRequest("{\"schema\":\"pdw-req-1\",\"type\":\"resolve\","
+                         "\"benchmark\":\"PCR\",\"block_cell\":\"4x7\"}")
+                .error_code,
+            "value");
+}
+
+TEST(PdwdProtocol, SurrogateEscapesOnTheWire) {
+  // Astral-plane ids arrive as surrogate-pair escapes (RFC 8259 §7) and
+  // must decode to 4-byte UTF-8 — and echo back intact in the response.
+  const auto parsed = parseRequest(
+      "{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+      "\"id\":\"\\uD83D\\uDE00\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.request->id, "\xF0\x9F\x98\x80");
+
+  DaemonOptions options;
+  options.lanes = 1;
+  options.threads = 1;
+  Daemon daemon(options);
+  const obs::json::Value doc = parseResponse(daemon.handleLine(
+      "{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+      "\"id\":\"\\uD83D\\uDE00\"}"));
+  EXPECT_EQ(str(doc, "id"), "\xF0\x9F\x98\x80");
+
+  // Lone or malformed surrogates are structured parse errors, not mangled
+  // ids reaching the admission path.
+  for (const char* line :
+       {"{\"schema\":\"pdw-req-1\",\"type\":\"ping\",\"id\":\"\\uD83D\"}",
+        "{\"schema\":\"pdw-req-1\",\"type\":\"ping\",\"id\":\"\\uDE00\"}",
+        "{\"schema\":\"pdw-req-1\",\"type\":\"ping\","
+        "\"id\":\"\\uD83D\\u0041\"}"}) {
+    EXPECT_EQ(parseRequest(line).error_code, "parse") << line;
+    EXPECT_EQ(str(parseResponse(daemon.handleLine(line)), "code"), "parse")
+        << line;
+  }
+  daemon.shutdown();
+}
+
 TEST(PdwdProtocol, RejectsCacheVersionBeyondExactDoubles) {
   // 2^53 is the last double-exact integer: a larger value is ambiguous and
   // the uint64 cast would be UB for huge magnitudes (e.g. 1e300), while a
@@ -517,6 +618,72 @@ TEST(PdwdDaemon, DeadlineCappedSolvesBypassPlanCache) {
   daemon.shutdown();
 }
 
+std::string resolveLine(const std::string& id, const std::string& benchmark,
+                        const std::string& perturbation) {
+  return "{\"schema\":\"pdw-req-1\",\"type\":\"resolve\",\"id\":\"" + id +
+         "\",\"benchmark\":\"" + benchmark + "\"" + perturbation + "}";
+}
+
+TEST(PdwdDaemon, ResolveColdPrimesThenServesWarmDeltas) {
+  const obs::MetricsSnapshot baseline = obs::Registry::instance().snapshot();
+  DaemonOptions options;
+  options.lanes = 1;
+  options.threads = 1;
+  options.default_budget_s = 60.0;
+  Daemon daemon(options);
+
+  // First resolve: no resident pipeline yet, so the daemon cold-primes the
+  // benchmark's base solve and then repairs it — warm:false.
+  obs::json::Value first = parseResponse(daemon.handleLine(
+      resolveLine("r1", "Kinase act-1", ",\"delay_op\":0,\"delay_s\":2")));
+  EXPECT_EQ(str(first, "status"), "ok") << str(first, "error");
+  EXPECT_FALSE(boolean(first, "warm"));
+  EXPECT_FALSE(str(first, "plan").empty());
+  const obs::json::Value* stats = first.find("resolve");
+  ASSERT_TRUE(stats && stats->isObject());
+  EXPECT_FALSE(boolean(*stats, "full_fallback"));
+  EXPECT_GT(num(*stats, "reused_cells"), 0.0);
+
+  // Second delta against the now-resident pipeline composes on the first —
+  // warm:true, still incremental.
+  obs::json::Value second = parseResponse(daemon.handleLine(
+      resolveLine("r2", "Kinase act-1", ",\"delay_op\":1,\"delay_s\":1.5")));
+  EXPECT_EQ(str(second, "status"), "ok");
+  EXPECT_TRUE(boolean(second, "warm"));
+  const obs::json::Value* stats2 = second.find("resolve");
+  ASSERT_TRUE(stats2 && stats2->isObject());
+  EXPECT_FALSE(boolean(*stats2, "full_fallback"));
+
+  // A structurally invalid delta is a per-request error; the resident
+  // state stays usable and the next valid delta is still warm.
+  obs::json::Value bad = parseResponse(daemon.handleLine(
+      resolveLine("r3", "Kinase act-1", ",\"delay_op\":9999,\"delay_s\":1")));
+  EXPECT_EQ(str(bad, "status"), "error");
+  EXPECT_EQ(str(bad, "code"), "value");
+  obs::json::Value third = parseResponse(daemon.handleLine(
+      resolveLine("r4", "Kinase act-1", ",\"delay_op\":0,\"delay_s\":1")));
+  EXPECT_EQ(str(third, "status"), "ok");
+  EXPECT_TRUE(boolean(third, "warm"));
+
+  // Unknown benchmarks are refused at admission, same as solve.
+  obs::json::Value unknown = parseResponse(daemon.handleLine(
+      resolveLine("r5", "NotABenchmark", ",\"delay_op\":0,\"delay_s\":1")));
+  EXPECT_EQ(str(unknown, "status"), "error");
+  EXPECT_EQ(str(unknown, "code"), "value");
+
+  daemon.shutdown();
+
+  // The pipeline-level resolve metrics reconcile with what was served:
+  // four attempts (three valid, one rejected delta).
+  const obs::MetricsSnapshot delta =
+      obs::Registry::instance().snapshot().since(baseline);
+  EXPECT_EQ(delta.counter(obs::names::kResolveRequests), 4);
+  EXPECT_EQ(delta.counter(obs::names::kResolveErrors), 1);
+  EXPECT_EQ(delta.counter(obs::names::kResolveCellsTotal),
+            delta.counter(obs::names::kResolveFrontierCells) +
+                delta.counter(obs::names::kResolveReusedCells));
+}
+
 TEST(PdwdDaemon, StdioBatchStopsAtShutdown) {
   DaemonOptions options;
   options.lanes = 1;
@@ -616,6 +783,67 @@ TEST(PdwdConcurrency, ConcurrentClientsGetByteIdenticalPlans) {
     if (reference.empty()) reference = plan;
     EXPECT_EQ(plan, reference) << "client " << i << " diverged";
   }
+}
+
+/// The invalidate-coherence contract (TSAN target): the route-cache epoch
+/// bumps BEFORE the plan-cache version, both under invalidate_mutex_, on
+/// every invalidation path. An observer that reads the version first and
+/// the epoch second must therefore never see the version ahead of the
+/// epoch — the regression this pins was two independent bumps with a
+/// window where a lane could warm-hit a new-generation plan while route
+/// lookups still served pre-invalidation paths.
+TEST(PdwdConcurrency, InvalidateAdvancesRouteEpochBeforePlanVersion) {
+  constexpr int kInvalidators = 2;
+  constexpr int kPerThread = 50;
+  DaemonOptions options;
+  options.lanes = 2;
+  options.threads = 1;
+  Daemon daemon(options);
+  const std::uint64_t v0 = daemon.cacheVersion();
+  const std::uint64_t e0 = daemon.routeCacheEpoch();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t)
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        // Read order matters: version first, epoch second. The writer
+        // bumps epoch first, so a coherent daemon can only over-report
+        // the epoch here, never under-report it.
+        const std::uint64_t version = daemon.cacheVersion();
+        const std::uint64_t epoch = daemon.routeCacheEpoch();
+        if (epoch - e0 < version - v0)
+          violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (int t = 0; t < kInvalidators; ++t)
+    threads.emplace_back([&daemon, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        daemon.handleLine(
+            "{\"schema\":\"pdw-req-1\",\"type\":\"invalidate\",\"id\":\"i" +
+            std::to_string(t) + "-" + std::to_string(i) + "\"}");
+    });
+  for (int t = kInvalidators; t-- > 0;) {
+    threads.back().join();
+    threads.pop_back();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(daemon.cacheVersion(), v0 + kInvalidators * kPerThread);
+  EXPECT_EQ(daemon.routeCacheEpoch(), e0 + kInvalidators * kPerThread);
+
+  // The admission bumpTo path obeys the same contract: a client-driven
+  // version jump advances the epoch exactly once, route first.
+  const std::uint64_t v1 = daemon.cacheVersion();
+  const std::uint64_t e1 = daemon.routeCacheEpoch();
+  parseResponse(daemon.handleLine(
+      sleepLine("bump", 1, ",\"cache_version\":" + std::to_string(v1 + 5))));
+  EXPECT_EQ(daemon.cacheVersion(), v1 + 5);
+  EXPECT_EQ(daemon.routeCacheEpoch(), e1 + 1);
+  daemon.shutdown();
 }
 
 // ---- PdwdOverload --------------------------------------------------------

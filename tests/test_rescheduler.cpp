@@ -2,7 +2,11 @@
 // PDW's fallback): precedence preservation, wash windows, cascading delays.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "sim/validator.h"
+#include "util/thread_pool.h"
 #include "wash/rescheduler.h"
 
 namespace pdw::wash {
@@ -126,6 +130,24 @@ TEST_F(ReschedulerFixture, WashDurationFollowsParams) {
   const assay::FluidTask& wash = out.task(2);
   // 8 edges * 3mm = 24mm; 24/12 + 1.5 = 3.5 s.
   EXPECT_NEAR(wash.duration(), 3.5, 1e-9);
+}
+
+TEST_F(ReschedulerFixture, ByteIdenticalAcrossThreadCounts) {
+  // Several washes sharing one blocker get the same order_key, so the
+  // sweep's total order rests entirely on the (kind, index) tie-break.
+  // The parallel precomputation must not leak thread scheduling into the
+  // result: 1 thread, 8 threads, and no pool all describe() byte-equal.
+  const auto base = makeBase();
+  std::vector<WashOperation> washes;
+  for (int i = 0; i < 4; ++i) washes.push_back(makeWash(2.0, t1_, t2_));
+  const std::string serial =
+      rescheduleWithWashes(base, washes, {}).describe();
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  EXPECT_EQ(rescheduleWithWashes(base, washes, {}, &one).describe(), serial);
+  for (int round = 0; round < 3; ++round)
+    EXPECT_EQ(rescheduleWithWashes(base, washes, {}, &eight).describe(),
+              serial);
 }
 
 TEST_F(ReschedulerFixture, TwoWashesSerializeOnSharedPath) {

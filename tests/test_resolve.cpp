@@ -1,0 +1,451 @@
+// Online re-wash (DESIGN.md §15): ScheduleDelta application, incremental
+// necessity re-analysis, and Pipeline::resolve() end to end.
+//
+// Suites:
+//   ScheduleDeltaApply    applyDelta validation + shift propagation (every
+//                         rejected delta names its reason; untouched items
+//                         keep their base times bit-for-bit)
+//   IncrementalNecessity  the delta analysis returns exactly what a full
+//                         recompute on the perturbed schedule would
+//   PipelineResolve       resolve(delta) vs a cold run() on the perturbed
+//                         schedule: identical N_wash / L_wash, blocked
+//                         cells excluded from wash routes, invalid deltas
+//                         leave the resident state usable
+//
+// Budgets are node/iteration-bound (never wall-clock) so the cold-vs-warm
+// comparisons are deterministic under sanitizers and load.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assay/benchmarks.h"
+#include "core/pipeline.h"
+#include "core/schedule_delta.h"
+#include "sim/metrics.h"
+#include "synth/placer.h"
+#include "synth/synthesizer.h"
+#include "wash/contamination.h"
+#include "wash/necessity.h"
+
+namespace {
+
+using namespace pdw;
+using assay::BenchmarkId;
+using assay::TaskKind;
+using core::ScheduleDelta;
+
+/// Benchmark bundle whose graph outlives the schedule (Pipeline::resolve
+/// keeps a copy of the schedule, which points into the graph and chip).
+struct BaseBundle {
+  assay::Benchmark benchmark;
+  synth::SynthResult synth;
+};
+
+BaseBundle makeBundle(BenchmarkId id) {
+  BaseBundle bundle;
+  bundle.benchmark = assay::makeBenchmark(id);
+  bundle.synth = synth::synthesizeOnChip(
+      *bundle.benchmark.graph, synth::placeChip(bundle.benchmark.library));
+  return bundle;
+}
+
+/// Node-bound deterministic options (mirrors test_parallel_determinism).
+core::PdwOptions fastOptions() {
+  core::PdwOptions options = core::PdwOptions{}
+                                 .withThreads(1)
+                                 .withoutIlpPaths()
+                                 .withScheduleBudget(1e6, 200);
+  options.solver.schedule.simplex_iteration_limit = 1500;
+  return options;
+}
+
+assay::TaskId findRemovableTask(const assay::AssaySchedule& schedule) {
+  for (const assay::FluidTask& task : schedule.tasks())
+    if (task.kind == TaskKind::ExcessRemoval ||
+        task.kind == TaskKind::WasteRemoval)
+      return task.id;
+  return -1;
+}
+
+// ---- ScheduleDeltaApply --------------------------------------------------
+
+TEST(ScheduleDeltaApply, RejectsUnknownIdsAndBadRemovals) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+
+  ScheduleDelta unknown_op;
+  unknown_op.op_delays.push_back({9999, 5.0});
+  EXPECT_FALSE(core::applyDelta(base, unknown_op).valid);
+  EXPECT_NE(core::applyDelta(base, unknown_op).error.find("unknown"),
+            std::string::npos);
+
+  ScheduleDelta unknown_task;
+  unknown_task.task_delays.push_back({9999, 5.0});
+  EXPECT_FALSE(core::applyDelta(base, unknown_task).valid);
+
+  // Transports cannot be removed (their consumer would starve).
+  assay::TaskId transport = -1;
+  for (const assay::FluidTask& task : base.tasks())
+    if (task.kind == TaskKind::Transport) transport = task.id;
+  ASSERT_GE(transport, 0);
+  ScheduleDelta remove_transport;
+  remove_transport.removed_tasks.push_back(transport);
+  const core::AppliedDelta applied = core::applyDelta(base, remove_transport);
+  EXPECT_FALSE(applied.valid);
+  EXPECT_NE(applied.error.find("waste-bound"), std::string::npos);
+
+  ScheduleDelta outside;
+  outside.blocked_cells.push_back({10000, 10000});
+  EXPECT_FALSE(core::applyDelta(base, outside).valid);
+
+  const assay::TaskId removable = findRemovableTask(base);
+  ASSERT_GE(removable, 0);
+  ScheduleDelta both;
+  both.task_delays.push_back({removable, 2.0});
+  both.removed_tasks.push_back(removable);
+  EXPECT_FALSE(core::applyDelta(base, both).valid);
+}
+
+TEST(ScheduleDeltaApply, DelayPropagatesOnlyForward) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+  const assay::OpId delayed = base.opSchedules().front().op;
+
+  ScheduleDelta delta;
+  delta.op_delays.push_back({delayed, 7.5});
+  const core::AppliedDelta applied = core::applyDelta(base, delta);
+  ASSERT_TRUE(applied.valid) << applied.error;
+  EXPECT_FALSE(applied.ids_renumbered);
+  ASSERT_EQ(applied.schedule.opSchedules().size(), base.opSchedules().size());
+  ASSERT_EQ(applied.schedule.tasks().size(), base.tasks().size());
+
+  // The delayed op moved by exactly the delay; nothing moved backwards, and
+  // items with zero shift kept their base times bit-for-bit.
+  for (std::size_t i = 0; i < base.opSchedules().size(); ++i) {
+    const assay::OpSchedule& b = base.opSchedules()[i];
+    const assay::OpSchedule& p = applied.schedule.opSchedules()[i];
+    ASSERT_EQ(b.op, p.op);
+    EXPECT_GE(p.start, b.start);
+    const double shift = applied.op_shift[static_cast<std::size_t>(b.op)];
+    if (b.op == delayed) EXPECT_DOUBLE_EQ(shift, 7.5);
+    if (shift == 0.0) {
+      EXPECT_EQ(p.start, b.start);
+      EXPECT_EQ(p.end, b.end);
+    }
+    // Durations are preserved.
+    EXPECT_DOUBLE_EQ(p.end - p.start, b.end - b.start);
+  }
+  for (std::size_t i = 0; i < base.tasks().size(); ++i) {
+    const assay::FluidTask& b = base.tasks()[i];
+    const assay::FluidTask& p = applied.schedule.tasks()[i];
+    EXPECT_GE(p.start, b.start);
+    if (applied.task_shift[i] == 0.0) EXPECT_EQ(p.start, b.start);
+    EXPECT_DOUBLE_EQ(p.end - p.start, b.end - b.start);
+  }
+}
+
+TEST(ScheduleDeltaApply, RemovalRenumbersAndRemaps) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+  const assay::TaskId removable = findRemovableTask(base);
+  ASSERT_GE(removable, 0);
+
+  ScheduleDelta delta;
+  delta.removed_tasks.push_back(removable);
+  const core::AppliedDelta applied = core::applyDelta(base, delta);
+  ASSERT_TRUE(applied.valid) << applied.error;
+  EXPECT_EQ(applied.schedule.tasks().size(), base.tasks().size() - 1);
+  EXPECT_EQ(applied.task_remap[static_cast<std::size_t>(removable)], -1);
+  // Ids are dense, so removing any task but the last renumbers the tail.
+  const bool was_last =
+      removable == static_cast<assay::TaskId>(base.tasks().size()) - 1;
+  EXPECT_EQ(applied.ids_renumbered, !was_last);
+  // Every surviving task is found at its remapped id with the same kind.
+  for (std::size_t t = 0; t < base.tasks().size(); ++t) {
+    const assay::TaskId mapped = applied.task_remap[t];
+    if (mapped < 0) continue;
+    EXPECT_EQ(applied.schedule.tasks()[static_cast<std::size_t>(mapped)].kind,
+              base.tasks()[t].kind);
+  }
+}
+
+// ---- IncrementalNecessity ------------------------------------------------
+
+TEST(IncrementalNecessity, DeltaAnalysisMatchesFullRecompute) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Ivd);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+
+  wash::NecessityMemo memo;
+  const wash::ContaminationTracker tracker(base);
+  analyzeWashNecessity(tracker, {}, &memo);
+  ASSERT_TRUE(memo.valid);
+
+  ScheduleDelta delta;
+  delta.op_delays.push_back({base.opSchedules().front().op, 4.0});
+  const core::AppliedDelta applied = core::applyDelta(base, delta);
+  ASSERT_TRUE(applied.valid) << applied.error;
+
+  const wash::ContaminationTracker perturbed(applied.schedule);
+  wash::NecessityDeltaStats dstats;
+  const wash::NecessityResult incremental =
+      analyzeWashNecessityDelta(perturbed, memo, {}, &dstats);
+  const wash::NecessityResult full = analyzeWashNecessity(perturbed);
+
+  EXPECT_FALSE(dstats.full_fallback);
+  EXPECT_GT(dstats.reused_cells, 0);
+  ASSERT_EQ(incremental.targets.size(), full.targets.size());
+  for (std::size_t i = 0; i < full.targets.size(); ++i) {
+    const wash::WashTarget& a = incremental.targets[i];
+    const wash::WashTarget& b = full.targets[i];
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_EQ(a.residue, b.residue);
+    EXPECT_EQ(a.ready, b.ready);
+    EXPECT_EQ(a.deadline, b.deadline);
+    EXPECT_EQ(a.contaminating_task, b.contaminating_task);
+    EXPECT_EQ(a.contaminating_op, b.contaminating_op);
+    EXPECT_EQ(a.blocking_task, b.blocking_task);
+  }
+  EXPECT_EQ(incremental.stats.targets, full.stats.targets);
+  EXPECT_EQ(incremental.stats.skipped_type1, full.stats.skipped_type1);
+  EXPECT_EQ(incremental.stats.skipped_type2, full.stats.skipped_type2);
+  EXPECT_EQ(incremental.stats.skipped_type3, full.stats.skipped_type3);
+  EXPECT_EQ(incremental.stats.contaminated_cell_states,
+            full.stats.contaminated_cell_states);
+}
+
+TEST(IncrementalNecessity, OptionChangeForcesFullFallback) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const wash::ContaminationTracker tracker(bundle.synth.schedule);
+
+  wash::NecessityMemo memo;
+  analyzeWashNecessity(tracker, {}, &memo);
+
+  wash::NecessityOptions no_type2;
+  no_type2.enable_type2 = false;
+  wash::NecessityDeltaStats dstats;
+  const wash::NecessityResult incremental =
+      analyzeWashNecessityDelta(tracker, memo, no_type2, &dstats);
+  EXPECT_TRUE(dstats.full_fallback);
+  EXPECT_EQ(dstats.reused_cells, 0);
+
+  const wash::NecessityResult full = analyzeWashNecessity(tracker, no_type2);
+  EXPECT_EQ(incremental.targets.size(), full.targets.size());
+  EXPECT_EQ(incremental.stats.targets, full.stats.targets);
+}
+
+// ---- PipelineResolve -----------------------------------------------------
+
+TEST(PipelineResolve, RequiresPriorRun) {
+  Pipeline pipeline(fastOptions());
+  EXPECT_FALSE(pipeline.canResolve());
+  ScheduleDelta delta;
+  delta.op_delays.push_back({0, 1.0});
+  const PdwResult r = pipeline.resolve(delta);
+  EXPECT_TRUE(r.resolve.attempted);
+  EXPECT_FALSE(r.resolve.valid);
+  EXPECT_FALSE(r.resolve.error.empty());
+}
+
+class ResolveVsCold : public ::testing::TestWithParam<BenchmarkId> {};
+
+TEST_P(ResolveVsCold, DelayDeltaMatchesColdResolve) {
+  const BaseBundle bundle = makeBundle(GetParam());
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+
+  Pipeline warm(fastOptions());
+  const PdwResult first = warm.run(base);
+  ASSERT_TRUE(warm.canResolve());
+
+  ScheduleDelta delta;
+  delta.op_delays.push_back({base.opSchedules().front().op, 6.0});
+  const core::AppliedDelta applied = core::applyDelta(base, delta);
+  ASSERT_TRUE(applied.valid) << applied.error;
+
+  const PdwResult incremental = warm.resolve(delta);
+  ASSERT_TRUE(incremental.resolve.valid) << incremental.resolve.error;
+
+  Pipeline cold(fastOptions());
+  const PdwResult scratch = cold.run(applied.schedule);
+
+  // The tentpole's correctness bar: the wash set is identical to a
+  // from-scratch re-solve on the perturbed schedule (necessity, clustering
+  // and routing are bit-identical; only the repair-mode re-timing differs).
+  const sim::WashMetrics mi = sim::computeMetrics(incremental.schedule(), base);
+  const sim::WashMetrics mc = sim::computeMetrics(scratch.schedule(), base);
+  EXPECT_EQ(mi.n_wash, mc.n_wash);
+  EXPECT_DOUBLE_EQ(mi.l_wash_mm, mc.l_wash_mm);
+  EXPECT_EQ(incremental.wash_operations, scratch.wash_operations);
+
+  // Reuse accounting: the partitions hold and the frontier is partial.
+  const ResolveStats& rs = incremental.resolve;
+  EXPECT_GT(rs.reused_cells, 0);
+  EXPECT_FALSE(rs.full_fallback);
+  EXPECT_EQ(first.wash_operations > 0, rs.routes_reused > 0)
+      << "unchanged wash routes should be served by the warm route cache";
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBenchmarks, ResolveVsCold,
+                         ::testing::Values(BenchmarkId::Pcr, BenchmarkId::Ivd,
+                                           BenchmarkId::ProteinSplit),
+                         [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+                           std::string name = assay::toString(info.param);
+                           for (char& c : name)
+                             if (c == ' ' || c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(PipelineResolve, DeltasComposeAndInvalidDeltaLeavesStateUsable) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+
+  Pipeline pipeline(fastOptions());
+  pipeline.run(base);
+
+  ScheduleDelta first;
+  first.op_delays.push_back({base.opSchedules().front().op, 3.0});
+  ASSERT_TRUE(pipeline.resolve(first).resolve.valid);
+
+  // Invalid delta: rejected, state untouched.
+  ScheduleDelta bogus;
+  bogus.op_delays.push_back({424242, 1.0});
+  const PdwResult rejected = pipeline.resolve(bogus);
+  EXPECT_FALSE(rejected.resolve.valid);
+
+  // A second valid delta composes on the re-based (doubly-perturbed)
+  // schedule: the wash set matches a cold solve of base + 3s + 2s. (The
+  // scheduler itself may re-time ops freely — the delta perturbs the
+  // *input* schedule; it is not an output pin.)
+  ScheduleDelta second;
+  const assay::OpId op = base.opSchedules().front().op;
+  second.op_delays.push_back({op, 2.0});
+  const PdwResult composed = pipeline.resolve(second);
+  ASSERT_TRUE(composed.resolve.valid) << composed.resolve.error;
+
+  const core::AppliedDelta once = core::applyDelta(base, first);
+  ASSERT_TRUE(once.valid);
+  const core::AppliedDelta twice = core::applyDelta(once.schedule, second);
+  ASSERT_TRUE(twice.valid);
+  Pipeline cold(fastOptions());
+  const PdwResult scratch = cold.run(twice.schedule);
+  const sim::WashMetrics mi = sim::computeMetrics(composed.schedule(), base);
+  const sim::WashMetrics mc = sim::computeMetrics(scratch.schedule(), base);
+  EXPECT_EQ(mi.n_wash, mc.n_wash);
+  EXPECT_DOUBLE_EQ(mi.l_wash_mm, mc.l_wash_mm);
+}
+
+TEST(PipelineResolve, RemovalFallsBackToFullRecompute) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+  const assay::TaskId removable = findRemovableTask(base);
+  ASSERT_GE(removable, 0);
+
+  Pipeline pipeline(fastOptions());
+  pipeline.run(base);
+
+  ScheduleDelta delta;
+  delta.removed_tasks.push_back(removable);
+  const core::AppliedDelta applied = core::applyDelta(base, delta);
+  ASSERT_TRUE(applied.valid) << applied.error;
+
+  const PdwResult r = pipeline.resolve(delta);
+  ASSERT_TRUE(r.resolve.valid) << r.resolve.error;
+  // Renumbered ids invalidate the memo — correctness over reuse.
+  EXPECT_EQ(r.resolve.full_fallback, applied.ids_renumbered);
+
+  Pipeline cold(fastOptions());
+  const PdwResult scratch = cold.run(applied.schedule);
+  const sim::WashMetrics mi = sim::computeMetrics(r.schedule(), base);
+  const sim::WashMetrics mc = sim::computeMetrics(scratch.schedule(), base);
+  EXPECT_EQ(mi.n_wash, mc.n_wash);
+  EXPECT_DOUBLE_EQ(mi.l_wash_mm, mc.l_wash_mm);
+}
+
+TEST(PipelineResolve, BlockedCellExcludedFromWashRoutes) {
+  const BaseBundle bundle = makeBundle(BenchmarkId::Ivd);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+
+  Pipeline pipeline(fastOptions());
+  const PdwResult first = pipeline.run(base);
+
+  // Pick a wash-route transit cell the base schedule never uses: blocking
+  // it cannot invalidate a wash *target*, only force a different route.
+  std::set<arch::Cell> used;
+  for (const arch::Cell& cell : wash::ContaminationTracker(base).usedCells())
+    used.insert(cell);
+  arch::Cell blocked{-1, -1};
+  for (const assay::FluidTask& task : first.schedule().tasks()) {
+    if (task.kind != TaskKind::Wash) continue;
+    for (const arch::Cell& c : task.path.cells())
+      if (!used.count(c)) {
+        blocked = c;
+        break;
+      }
+    if (blocked.x >= 0) break;
+  }
+  if (blocked.x < 0) GTEST_SKIP() << "no blockable transit cell";
+
+  ScheduleDelta delta;
+  delta.blocked_cells.push_back(blocked);
+  const PdwResult r = pipeline.resolve(delta);
+  ASSERT_TRUE(r.resolve.valid) << r.resolve.error;
+  for (const assay::FluidTask& task : r.schedule().tasks()) {
+    if (task.kind != TaskKind::Wash) continue;
+    for (const arch::Cell& c : task.path.cells())
+      EXPECT_FALSE(c == blocked)
+          << "wash route crosses blocked cell " << c.x << ":" << c.y;
+  }
+
+  // Cold equivalence: a from-scratch solve told to avoid the same cell
+  // produces the same wash set.
+  core::PdwOptions cold_options = fastOptions();
+  cold_options.path.avoid_cells.push_back(blocked);
+  Pipeline cold(cold_options);
+  const PdwResult scratch = cold.run(base);
+  const sim::WashMetrics mi = sim::computeMetrics(r.schedule(), base);
+  const sim::WashMetrics mc = sim::computeMetrics(scratch.schedule(), base);
+  EXPECT_EQ(mi.n_wash, mc.n_wash);
+}
+
+TEST(PipelineResolve, BlockedTargetCellDropsItsWashNotTheProcess) {
+  // Blocking a cell that itself needs washing makes that wash physically
+  // impossible: the operation must be dropped as unroutable (loud log,
+  // unroutable_operations count) — regression for a map::at crash when a
+  // blocked target survived into the path ILP's region-excluded model.
+  const BaseBundle bundle = makeBundle(BenchmarkId::Pcr);
+  const assay::AssaySchedule& base = bundle.synth.schedule;
+
+  Pipeline pipeline(fastOptions());
+  const PdwResult first = pipeline.run(base);
+  ASSERT_GT(first.schedule().washCount(), 0);
+
+  // Block an actual wash-target cell, straight from necessity analysis.
+  const wash::ContaminationTracker tracker(base);
+  const wash::NecessityResult necessity =
+      wash::analyzeWashNecessity(tracker, fastOptions().necessity);
+  ASSERT_FALSE(necessity.targets.empty());
+  const arch::Cell target = necessity.targets.front().cell;
+
+  ScheduleDelta delta;
+  delta.blocked_cells.push_back(target);
+  const PdwResult r = pipeline.resolve(delta);
+  ASSERT_TRUE(r.resolve.valid) << r.resolve.error;
+  EXPECT_GT(r.unroutable_operations, 0);
+  EXPECT_LT(r.schedule().washCount(), first.schedule().washCount());
+  for (const assay::FluidTask& task : r.schedule().tasks()) {
+    if (task.kind != TaskKind::Wash) continue;
+    for (const arch::Cell& c : task.path.cells()) EXPECT_FALSE(c == target);
+  }
+
+  // Both routing modes agree on the semantics (ILP path mode too).
+  core::PdwOptions ilp_options = fastOptions();
+  ilp_options.use_ilp_paths = true;
+  ilp_options.path.avoid_cells.push_back(target);
+  const PdwResult scratch = Pipeline(ilp_options).run(base);
+  EXPECT_GT(scratch.unroutable_operations, 0);
+  EXPECT_EQ(scratch.schedule().washCount(), r.schedule().washCount());
+}
+
+}  // namespace

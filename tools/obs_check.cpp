@@ -4,6 +4,13 @@
 //   obs_check --bench b.json [--expect-warm-hits] [--expect-engine NAME]
 //   obs_check --flight f.jsonl [--metrics m.json]
 //   obs_check --pdwd scrape.json [--expect-solves N] [--expect-warm-solves]
+//   obs_check --resolve m.json
+//
+// Resolve checks: the incremental `pdw.resolve.*` counters (raw export or
+// scrape line). Enforces the partition invariants from obs/metric_names.h —
+// cells_total == frontier + reused, targets_total == recomputed + reused,
+// full_fallbacks/errors <= requests, and the latency histogram count equals
+// the successful resolves.
 //
 // Pdwd checks: the daemon's `pdwd.*` request-accounting counters, read from
 // a raw pdw-metrics-1 export or straight from a `pdw-resp-1` metrics-scrape
@@ -475,6 +482,94 @@ void checkPdwd(const std::string& path, long long expect_solves,
                requests, ok, budget, deadline, rejected, hits, hits + misses);
 }
 
+// ---- incremental resolve counters (`pdw.resolve.*`) ----------------------
+
+/// Validate the resolve partition invariants documented in
+/// obs/metric_names.h against a pdw-metrics-1 export (raw, or embedded in a
+/// `pdw-resp-1` metrics-scrape line, same as --pdwd). Every counted cell is
+/// either frontier or reused, every target recomputed or reused, a full
+/// fallback consumes one request, and the latency histogram observes each
+/// successful resolve exactly once (errors bump requests but nothing else).
+void checkResolve(const std::string& path) {
+  const std::string text = slurp(path);
+  if (text.empty()) return fail("resolve file empty or unreadable: " + path);
+  auto doc = pdw::obs::json::parse(text);
+  if (!doc && text.find('\n') != std::string::npos)
+    doc = pdw::obs::json::parse(text.substr(0, text.find('\n')));
+  if (!doc || !doc->isObject())
+    return fail("resolve file is not a JSON object");
+
+  const Value* root = &*doc;
+  const Value* schema = root->find("schema");
+  if (schema && schema->isString() && schema->string == "pdw-resp-1") {
+    root = root->find("metrics");
+    if (!root || !root->isObject())
+      return fail("resolve response has no embedded 'metrics' object");
+  }
+  schema = root->find("schema");
+  if (!schema || !schema->isString() || schema->string != "pdw-metrics-1")
+    fail("resolve metrics schema tag is not 'pdw-metrics-1'");
+  const Value* metrics = root->find("metrics");
+  if (!metrics || !metrics->isObject())
+    return fail("resolve export has no 'metrics' object");
+
+  // Counters register lazily on first increment, so a clean run never
+  // materializes the error/fallback counters — missing means zero for
+  // those; the partition counters must be present once a resolve ran.
+  const auto counter = [&](const char* name, bool required = true) -> double {
+    const Value* entry = metrics->find(name);
+    const Value* v = entry ? entry->find("value") : nullptr;
+    if (!v || !v->isNumber() || v->number < 0) {
+      if (required)
+        fail(std::string("missing or negative resolve counter '") + name +
+             "'");
+      return 0.0;
+    }
+    return v->number;
+  };
+
+  const double requests = counter("pdw.resolve.requests");
+  const double errors = counter("pdw.resolve.errors", false);
+  const double fallbacks = counter("pdw.resolve.full_fallbacks", false);
+  const double cells = counter("pdw.resolve.cells_total");
+  const double frontier = counter("pdw.resolve.frontier_cells", false);
+  const double reused = counter("pdw.resolve.reused_cells", false);
+  const double targets = counter("pdw.resolve.targets_total");
+  const double recomputed = counter("pdw.resolve.targets_recomputed", false);
+  const double targets_reused = counter("pdw.resolve.targets_reused", false);
+
+  if (requests <= 0)
+    fail("pdw.resolve.requests is zero (no resolve was ever attempted)");
+  if (errors > requests)
+    fail("pdw.resolve.errors " + std::to_string(errors) +
+         " exceeds pdw.resolve.requests " + std::to_string(requests));
+  if (fallbacks > requests)
+    fail("pdw.resolve.full_fallbacks " + std::to_string(fallbacks) +
+         " exceeds pdw.resolve.requests " + std::to_string(requests));
+  if (cells != frontier + reused)
+    fail("resolve cell partition broken: cells_total " +
+         std::to_string(cells) + " != frontier " + std::to_string(frontier) +
+         " + reused " + std::to_string(reused));
+  if (targets != recomputed + targets_reused)
+    fail("resolve target partition broken: targets_total " +
+         std::to_string(targets) + " != recomputed " +
+         std::to_string(recomputed) + " + reused " +
+         std::to_string(targets_reused));
+
+  const Value* seconds = metrics->find("pdw.resolve.seconds");
+  const Value* count = seconds ? seconds->find("count") : nullptr;
+  const double observed = count && count->isNumber() ? count->number : -1;
+  if (observed != requests - errors)
+    fail("pdw.resolve.seconds count " + std::to_string(observed) +
+         " != successful resolves " + std::to_string(requests - errors));
+  std::fprintf(stderr,
+               "obs_check: resolve requests %.0f (errors %.0f, full "
+               "fallbacks %.0f); cells %.0f = frontier %.0f + reused %.0f; "
+               "targets %.0f = recomputed %.0f + reused %.0f\n",
+               requests, errors, fallbacks, cells, frontier, reused, targets,
+               recomputed, targets_reused);
+}
+
 void checkBench(const std::string& path, bool expect_warm_hits,
                 const std::string& expect_engine) {
   const std::string text = slurp(path);
@@ -546,6 +641,7 @@ void checkBench(const std::string& path, bool expect_warm_hits,
 
 int main(int argc, char** argv) {
   std::string trace_path, metrics_path, bench_path, flight_path, pdwd_path;
+  std::string resolve_path;
   std::string expect_engine;
   bool expect_warm_hits = false;
   bool expect_warm_solves = false;
@@ -576,6 +672,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--pdwd") {
       const char* v = next();
       if (v) pdwd_path = v;
+    } else if (arg == "--resolve") {
+      const char* v = next();
+      if (v) resolve_path = v;
     } else if (arg == "--expect-solves") {
       const char* v = next();
       if (v) expect_solves = std::atoll(v);
@@ -597,12 +696,13 @@ int main(int argc, char** argv) {
                    "[--expect-workers N] [--bench FILE] "
                    "[--flight FILE.jsonl] [--expect-warm-hits] "
                    "[--expect-engine NAME] [--pdwd FILE] "
-                   "[--expect-solves N] [--expect-warm-solves]\n");
+                   "[--resolve FILE] [--expect-solves N] "
+                   "[--expect-warm-solves]\n");
       return 2;
     }
   }
   if (trace_path.empty() && metrics_path.empty() && bench_path.empty() &&
-      flight_path.empty() && pdwd_path.empty()) {
+      flight_path.empty() && pdwd_path.empty() && resolve_path.empty()) {
     std::fprintf(stderr, "obs_check: nothing to check\n");
     return 2;
   }
@@ -616,6 +716,7 @@ int main(int argc, char** argv) {
   }
   if (!pdwd_path.empty())
     checkPdwd(pdwd_path, expect_solves, expect_warm_solves);
+  if (!resolve_path.empty()) checkResolve(resolve_path);
   if (failures == 0) {
     std::fprintf(stderr, "obs_check: OK\n");
     return 0;
